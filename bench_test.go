@@ -1,0 +1,414 @@
+// Package mlpeering_test holds the benchmark harness: one benchmark per
+// table and figure of the paper (regenerating the result each
+// iteration), the §4.3 ablations called out in DESIGN.md, and component
+// micro-benchmarks for the substrates.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package mlpeering_test
+
+import (
+	"bytes"
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/collector"
+	"mlpeering/internal/core"
+	"mlpeering/internal/experiments"
+	"mlpeering/internal/mrt"
+	"mlpeering/internal/pipeline"
+	"mlpeering/internal/propagate"
+	"mlpeering/internal/topology"
+)
+
+var (
+	benchOnce sync.Once
+	benchCtx  *experiments.Context
+	benchErr  error
+)
+
+func fixture(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCtx, benchErr = experiments.NewContext(topology.TestConfig())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCtx
+}
+
+// --- Per-table / per-figure benchmarks -------------------------------
+
+func BenchmarkTable2PerIXPInference(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := c.Table2()
+		if r.TotalLinks == 0 {
+			b.Fatal("no links")
+		}
+	}
+	r := c.Table2()
+	b.ReportMetric(float64(r.TotalLinks), "links")
+	b.ReportMetric(float64(r.MultiIXP), "multi-ixp-links")
+}
+
+func BenchmarkTable3Validation(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := c.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Tested == 0 {
+			b.Fatal("nothing tested")
+		}
+	}
+	r, _ := c.Table3()
+	b.ReportMetric(r.ConfirmedFrac*100, "confirmed-%")
+}
+
+func BenchmarkFig1SessionScaling(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.Figure1().Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig5PrefixCCDF(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := c.Figure5("")
+		if r.Prefixes == 0 {
+			b.Fatal("no prefixes")
+		}
+	}
+	b.ReportMetric(fixtureFig5(c)*100, "multi-member-%")
+}
+
+func fixtureFig5(c *experiments.Context) float64 { return c.Figure5("").MultiMemberFrac }
+
+func BenchmarkFig6Visibility(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := c.Figure6()
+		if r.TotalMLPLinks == 0 {
+			b.Fatal("no links")
+		}
+	}
+	r := c.Figure6()
+	b.ReportMetric(r.InvisibleFrac*100, "invisible-%")
+}
+
+func BenchmarkFig7CustomerDegrees(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := c.Figure7()
+		if r.Links == 0 {
+			b.Fatal("no links")
+		}
+	}
+	r := c.Figure7()
+	b.ReportMetric(r.InvolvesStubFrac*100, "involves-stub-%")
+}
+
+func BenchmarkFig8LGComparison(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Figure8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9PolicyParticipation(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.Figure9().Participation) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig10PresenceMatrix(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Figure10().ASes == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig11FilterBimodality(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.Figure11().Means) == 0 {
+			b.Fatal("empty")
+		}
+	}
+	b.ReportMetric(c.Figure11().BimodalFrac*100, "bimodal-%")
+}
+
+func BenchmarkFig12PeeringDensity(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.Figure12().Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig13Repellers(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Figure13().TotalExcludes == 0 {
+			b.Fatal("empty")
+		}
+	}
+	b.ReportMetric(c.Figure13().ConeFrac*100, "cone-%")
+}
+
+func BenchmarkQueryCostOptimization(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := c.QueryCost()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Optimized == 0 {
+			b.Fatal("no cost")
+		}
+	}
+	r, _ := c.QueryCost()
+	b.ReportMetric(r.NaiveFactor, "naive/optimized")
+}
+
+func BenchmarkReciprocityValidation(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := c.Reciprocity("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Violations != 0 {
+			b.Fatal("violations")
+		}
+	}
+}
+
+func BenchmarkGlobalEstimate(b *testing.B) {
+	c := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.GlobalEstimate().GlobalLinks == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) -----------------------------------------
+
+func activeVariant(b *testing.B, mutate func(*core.ActiveConfig)) int {
+	c := fixture(b)
+	cfg := core.DefaultActiveConfig()
+	mutate(&cfg)
+	hints := make(map[bgp.ASN][]bgp.Prefix)
+	for p, origin := range c.Run.Passive.PrefixOrigins {
+		hints[origin] = append(hints[origin], p)
+	}
+	r, err := core.RunActive(context.Background(), c.Run.Dict, c.World.LGEndpoints(0),
+		c.Run.Passive.Obs, hints, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r.TotalQueries()
+}
+
+func BenchmarkAblationPrefixSelection(b *testing.B) {
+	var with, without int
+	for i := 0; i < b.N; i++ {
+		with = activeVariant(b, func(c *core.ActiveConfig) {})
+		without = activeVariant(b, func(c *core.ActiveConfig) { c.SortByMultiplicity = false })
+	}
+	b.ReportMetric(float64(with), "queries-sorted")
+	b.ReportMetric(float64(without), "queries-unsorted")
+}
+
+func BenchmarkAblationPassiveExclusion(b *testing.B) {
+	var with, without int
+	for i := 0; i < b.N; i++ {
+		with = activeVariant(b, func(c *core.ActiveConfig) {})
+		without = activeVariant(b, func(c *core.ActiveConfig) { c.SkipPassiveCovered = false })
+	}
+	b.ReportMetric(float64(with), "queries-eq2")
+	b.ReportMetric(float64(without), "queries-eq1")
+}
+
+func BenchmarkAblationSamplingRate(b *testing.B) {
+	var q10, q100 int
+	for i := 0; i < b.N; i++ {
+		q10 = activeVariant(b, func(c *core.ActiveConfig) {})
+		q100 = activeVariant(b, func(c *core.ActiveConfig) { c.SamplePct = 1.0; c.MaxPrefixesPerMember = 1 << 30 })
+	}
+	b.ReportMetric(float64(q10), "queries-10pct")
+	b.ReportMetric(float64(q100), "queries-100pct")
+}
+
+func BenchmarkAblationReciprocity(b *testing.B) {
+	// Reciprocity (AND) versus a permissive OR rule: how much recall the
+	// conservative rule costs and how much precision it buys.
+	c := fixture(b)
+	truth := c.World.Topo.AllGroundTruthMLPLinks()
+	var andTP, andFP, orTP, orFP int
+	for i := 0; i < b.N; i++ {
+		andTP, andFP, orTP, orFP = 0, 0, 0, 0
+		// AND rule: the shipped result.
+		for link := range c.Run.Result.Links {
+			if truth[link] {
+				andTP++
+			} else {
+				andFP++
+			}
+		}
+		// OR rule: link when either side allows the other.
+		seen := make(map[topology.LinkKey]bool)
+		for name, x := range c.Run.Result.PerIXP {
+			_ = name
+			covered := x.CoveredMembers()
+			for i2, a := range covered {
+				fa := x.Filters[a]
+				for _, bb := range covered[i2+1:] {
+					fb := x.Filters[bb]
+					if fa.Allows(bb) || fb.Allows(a) {
+						seen[topology.MakeLinkKey(a, bb)] = true
+					}
+				}
+			}
+		}
+		for link := range seen {
+			if truth[link] {
+				orTP++
+			} else {
+				orFP++
+			}
+		}
+	}
+	b.ReportMetric(float64(andTP)/float64(andTP+andFP)*100, "AND-precision-%")
+	b.ReportMetric(float64(orTP)/float64(orTP+orFP)*100, "OR-precision-%")
+	b.ReportMetric(float64(orTP-andTP), "OR-extra-true-links")
+}
+
+// --- Component micro-benchmarks ---------------------------------------
+
+func benchUpdate() *bgp.Update {
+	return &bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.NewASPath(11666, 3356, 6695, 196615, 8359),
+			NextHop: netip.MustParseAddr("80.81.192.1"),
+			Communities: bgp.Communities{
+				bgp.MakeCommunity(6695, 6695), bgp.MakeCommunity(0, 5410),
+				bgp.MakeCommunity(0, 8732), bgp.MakeCommunity(3356, 70),
+			},
+		},
+		NLRI: []bgp.Prefix{bgp.MustPrefix("193.0.0.0/21"), bgp.MustPrefix("193.0.22.0/23")},
+	}
+}
+
+func BenchmarkBGPUpdateEncode(b *testing.B) {
+	u := benchUpdate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bgp.Encode(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBGPUpdateDecode(b *testing.B) {
+	wire, err := bgp.Encode(benchUpdate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bgp.Decode(wire, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMRTRIBDumpWriteRead(b *testing.B) {
+	c := fixture(b)
+	col := collector.New("bench", c.World.Engine, nil, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := col.WriteRIB(&buf, time.Unix(1368000000, 0)); err != nil {
+			b.Fatal(err)
+		}
+		dump, err := mrt.ReadDump(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dump.RIBs) == 0 {
+			b.Fatal("empty dump")
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkPropagationTree(b *testing.B) {
+	c := fixture(b)
+	topo := c.World.Topo
+	engine := propagate.NewEngine(topo, 1) // cache size 1: recompute each time
+	dests := topo.Order
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := engine.Tree(dests[i%len(dests)])
+		if tr == nil {
+			b.Fatal("nil tree")
+		}
+	}
+}
+
+func BenchmarkFullPipeline(b *testing.B) {
+	// End-to-end: world generation through link inference. Expensive;
+	// run explicitly with -bench=FullPipeline -benchtime=1x for wall
+	// numbers.
+	for i := 0; i < b.N; i++ {
+		w, err := pipeline.BuildWorld(topology.TestConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, err := w.RunInference(context.Background(), core.DefaultActiveConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run.Result.TotalLinks() == 0 {
+			b.Fatal("no links")
+		}
+		w.Close()
+	}
+}

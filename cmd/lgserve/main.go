@@ -1,0 +1,65 @@
+// Command lgserve generates a world and serves its looking glasses over
+// HTTP for interactive exploration, printing the available endpoints.
+//
+// Usage:
+//
+//	lgserve [-scale 0.2] [-addr 127.0.0.1:8080]
+//
+// Query examples:
+//
+//	curl 'http://127.0.0.1:8080/rs/DE-CIX?q=show+ip+bgp+summary'
+//	curl 'http://127.0.0.1:8080/rs/DE-CIX?q=show+ip+bgp+20.1.4.0/24'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"mlpeering/internal/pipeline"
+	"mlpeering/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lgserve: ")
+
+	scale := flag.Float64("scale", 0.2, "world scale")
+	seed := flag.Int64("seed", 20130501, "generation seed")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	cfg := topology.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+
+	start := time.Now()
+	w, err := pipeline.BuildWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("world built in %v", time.Since(start).Round(time.Millisecond))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, info := range w.Topo.IXPs {
+		if info.HasLG {
+			fmt.Printf("route server LG: http://%s/rs/%s?q=show+ip+bgp+summary\n", ln.Addr(), info.Name)
+		}
+	}
+	for _, lgs := range w.Topo.MemberLGs {
+		for _, h := range lgs {
+			fmt.Printf("member LG:       http://%s/as/%s?q=show+ip+bgp+<prefix>\n", ln.Addr(), h.ASN)
+			break
+		}
+		break
+	}
+	log.Printf("serving on %s", ln.Addr())
+	srv := &http.Server{Handler: w.LGHandler()}
+	log.Fatal(srv.Serve(ln))
+}

@@ -1,0 +1,42 @@
+// Command mlpexperiments reproduces every table and figure of the
+// paper's evaluation on a freshly generated world and prints them.
+//
+// Usage:
+//
+//	mlpexperiments [-scale 0.3] [-seed 20130501]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"mlpeering/internal/experiments"
+	"mlpeering/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mlpexperiments: ")
+
+	scale := flag.Float64("scale", 0.3, "world scale (1.0 = paper scale)")
+	seed := flag.Int64("seed", 20130501, "generation seed")
+	flag.Parse()
+
+	cfg := topology.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+
+	start := time.Now()
+	ctx, err := experiments.NewContext(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctx.Close()
+	log.Printf("world + inference ready in %v (scale %v)", time.Since(start).Round(time.Millisecond), *scale)
+
+	if err := ctx.RunAll(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Prefix is an IP prefix announced in BGP NLRI. It wraps netip.Prefix to
+// add the BGP wire encoding (RFC 4271 §4.3: a length octet followed by
+// the minimal number of address bytes).
+type Prefix struct {
+	netip.Prefix
+}
+
+// MustPrefix parses a CIDR string and panics on error; intended for
+// tests and static tables.
+func MustPrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses CIDR notation ("193.0.0.0/21").
+func ParsePrefix(s string) (Prefix, error) {
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		return Prefix{}, fmt.Errorf("bgp: %w", err)
+	}
+	return Prefix{p.Masked()}, nil
+}
+
+// PrefixFrom builds a Prefix from an address and mask length.
+func PrefixFrom(addr netip.Addr, bits int) Prefix {
+	return Prefix{netip.PrefixFrom(addr, bits).Masked()}
+}
+
+// wireLen returns the number of address bytes needed on the wire.
+func (p Prefix) wireLen() int { return (p.Bits() + 7) / 8 }
+
+// AppendWire appends the NLRI encoding of p to dst.
+func (p Prefix) AppendWire(dst []byte) []byte {
+	dst = append(dst, byte(p.Bits()))
+	a := p.Addr().AsSlice()
+	return append(dst, a[:p.wireLen()]...)
+}
+
+// decodePrefix reads one NLRI-encoded prefix from b. v6 selects the
+// address family. It returns the prefix and the number of bytes consumed.
+func decodePrefix(b []byte, v6 bool) (Prefix, int, error) {
+	if len(b) < 1 {
+		return Prefix{}, 0, fmt.Errorf("bgp: truncated NLRI: no length octet")
+	}
+	bits := int(b[0])
+	max := 32
+	if v6 {
+		max = 128
+	}
+	if bits > max {
+		return Prefix{}, 0, fmt.Errorf("bgp: NLRI length %d exceeds %d", bits, max)
+	}
+	n := (bits + 7) / 8
+	if len(b) < 1+n {
+		return Prefix{}, 0, fmt.Errorf("bgp: truncated NLRI: need %d bytes, have %d", n, len(b)-1)
+	}
+	var buf [16]byte
+	copy(buf[:], b[1:1+n])
+	var addr netip.Addr
+	if v6 {
+		addr = netip.AddrFrom16(buf)
+	} else {
+		addr = netip.AddrFrom4([4]byte(buf[:4]))
+	}
+	pfx := netip.PrefixFrom(addr, bits)
+	if pfx.Masked() != pfx {
+		// Bits beyond the mask must be zero; tolerate but canonicalize,
+		// as routers do.
+		pfx = pfx.Masked()
+	}
+	return Prefix{pfx}, 1 + n, nil
+}
+
+// DecodePrefixes parses a run of NLRI-encoded prefixes covering all of b.
+func DecodePrefixes(b []byte, v6 bool) ([]Prefix, error) {
+	var out []Prefix
+	for len(b) > 0 {
+		p, n, err := decodePrefix(b, v6)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		b = b[n:]
+	}
+	return out, nil
+}
+
+// ComparePrefixes orders prefixes by address then by length; used to
+// produce deterministic RIB dumps and test fixtures.
+func ComparePrefixes(a, b Prefix) int {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c
+	}
+	switch {
+	case a.Bits() < b.Bits():
+		return -1
+	case a.Bits() > b.Bits():
+		return 1
+	}
+	return 0
+}

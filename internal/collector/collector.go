@@ -1,0 +1,286 @@
+// Package collector simulates Route Views / RIPE RIS route collectors:
+// it peers with the topology's feeder ASes and archives their views as
+// MRT TABLE_DUMP_V2 RIB dumps and BGP4MP update traces — the passive
+// data source of the inference pipeline (§4.2).
+package collector
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"os"
+	"time"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/mrt"
+	"mlpeering/internal/propagate"
+	"mlpeering/internal/topology"
+)
+
+// Collector archives the BGP views of a set of feeders.
+type Collector struct {
+	Name    string
+	engine  *propagate.Engine
+	feeders []topology.Feeder
+	addrs   map[bgp.ASN]netip.Addr
+	workers int
+}
+
+// New builds a collector over the engine's topology. If feeders is nil
+// the topology's feeder set is used.
+func New(name string, engine *propagate.Engine, feeders []topology.Feeder, workers int) *Collector {
+	if feeders == nil {
+		feeders = engine.Topology().Feeders
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	c := &Collector{
+		Name:    name,
+		engine:  engine,
+		feeders: feeders,
+		addrs:   make(map[bgp.ASN]netip.Addr, len(feeders)),
+		workers: workers,
+	}
+	for i, f := range feeders {
+		// Feeder session addresses live in 192.0.2.0/24-style space,
+		// expanded to /16 for large feeder sets.
+		c.addrs[f.ASN] = netip.AddrFrom4([4]byte{192, 0, byte(2 + i/250), byte(1 + i%250)})
+	}
+	return c
+}
+
+// Feeders returns the collector's peer set.
+func (c *Collector) Feeders() []topology.Feeder { return c.feeders }
+
+// exports reports whether feeder f exports its route toward a
+// destination, per its feed kind: peer-style feeders (two-thirds of
+// collector peers, §2.3) export only customer routes.
+func exports(f topology.Feeder, class propagate.Class) bool {
+	if f.Kind == topology.FeedFull {
+		return class != propagate.ClassNone
+	}
+	return class >= propagate.ClassCustomer
+}
+
+// WriteRIB writes a full TABLE_DUMP_V2 RIB dump of all feeders' views.
+func (c *Collector) WriteRIB(w io.Writer, ts time.Time) error {
+	mw := mrt.NewWriter(w)
+	topo := c.engine.Topology()
+
+	idx := &mrt.PeerIndexTable{
+		CollectorID: netip.AddrFrom4([4]byte{198, 51, 100, 1}),
+		ViewName:    c.Name,
+	}
+	peerIndex := make(map[bgp.ASN]uint16, len(c.feeders))
+	for i, f := range c.feeders {
+		peerIndex[f.ASN] = uint16(i)
+		idx.Peers = append(idx.Peers, mrt.Peer{
+			BGPID: c.addrs[f.ASN],
+			Addr:  c.addrs[f.ASN],
+			ASN:   f.ASN,
+		})
+	}
+	if err := mw.WritePeerIndexTable(ts, idx); err != nil {
+		return err
+	}
+
+	seq := uint32(0)
+	var writeErr error
+	c.engine.ForEachTree(c.workers, func(tr *propagate.Tree) {
+		if writeErr != nil {
+			return
+		}
+		dest := topo.ASes[tr.Dest()]
+		if len(dest.Prefixes) == 0 {
+			return
+		}
+		var entries []mrt.RIBEntry
+		for _, f := range c.feeders {
+			route := tr.RouteFrom(f.ASN)
+			if route == nil || !exports(f, route.Class) {
+				continue
+			}
+			attrs := c.routeAttrs(f, route)
+			entries = append(entries, mrt.RIBEntry{
+				PeerIndex:  peerIndex[f.ASN],
+				Originated: ts,
+				Attrs:      attrs,
+			})
+		}
+		if len(entries) == 0 {
+			return
+		}
+		for _, p := range dest.Prefixes {
+			rec := &mrt.RIBRecord{Sequence: seq, Prefix: p, Entries: entries}
+			seq++
+			if err := mw.WriteRIB(ts, rec); err != nil {
+				writeErr = err
+				return
+			}
+		}
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return mw.Flush()
+}
+
+// routeAttrs converts a vantage route into BGP path attributes as the
+// collector would record them.
+func (c *Collector) routeAttrs(f topology.Feeder, route *propagate.VantageRoute) *bgp.PathAttrs {
+	attrs := &bgp.PathAttrs{
+		Origin:  bgp.OriginIGP,
+		ASPath:  bgp.NewASPath(route.Path...),
+		NextHop: c.addrs[f.ASN],
+	}
+	// The feeder's own export may strip communities; the route's
+	// Communities field already accounts for stripping on interior hops.
+	if !c.engine.Topology().ASes[f.ASN].StripsCommunities {
+		attrs.Communities = route.Communities.Clone()
+	}
+	return attrs
+}
+
+// UpdateOptions controls synthetic update-trace generation.
+type UpdateOptions struct {
+	// Churn is the number of ordinary re-announcements to sample.
+	Churn int
+	// TransientPaths injects short-lived paths with a forged link
+	// (mimicking misconfigured community/path handling); the passive
+	// pipeline must filter these (§5).
+	TransientPaths int
+	// PoisonedPaths injects paths with an AS cycle.
+	PoisonedPaths int
+	// BogonPaths injects paths carrying a reserved ASN.
+	BogonPaths int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// WriteUpdates writes a BGP4MP update trace: mostly legitimate
+// re-announcements of existing best routes, plus the configured
+// pollution. Updates are spread over the hour following ts.
+func (c *Collector) WriteUpdates(w io.Writer, ts time.Time, opts UpdateOptions) error {
+	mw := mrt.NewWriter(w)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	topo := c.engine.Topology()
+
+	// Candidate destinations: ASes with prefixes.
+	var dests []bgp.ASN
+	for _, asn := range topo.Order {
+		if len(topo.ASes[asn].Prefixes) > 0 {
+			dests = append(dests, asn)
+		}
+	}
+	if len(dests) == 0 || len(c.feeders) == 0 {
+		return mw.Flush()
+	}
+
+	writeUpd := func(f topology.Feeder, attrs *bgp.PathAttrs, prefix bgp.Prefix, at time.Time) error {
+		msg := &mrt.BGP4MPMessage{
+			PeerASN:   f.ASN,
+			LocalASN:  64999,
+			PeerAddr:  c.addrs[f.ASN],
+			LocalAddr: netip.AddrFrom4([4]byte{198, 51, 100, 1}),
+			Message:   &bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{prefix}},
+			AS4:       true,
+		}
+		return mw.WriteBGP4MP(at, msg)
+	}
+
+	for i := 0; i < opts.Churn; i++ {
+		f := c.feeders[rng.Intn(len(c.feeders))]
+		d := dests[rng.Intn(len(dests))]
+		tr := c.engine.Tree(d)
+		route := tr.RouteFrom(f.ASN)
+		if route == nil || !exports(f, route.Class) {
+			continue
+		}
+		prefixes := topo.ASes[d].Prefixes
+		p := prefixes[rng.Intn(len(prefixes))]
+		at := ts.Add(time.Duration(rng.Intn(3600)) * time.Second)
+		if err := writeUpd(f, c.routeAttrs(f, route), p, at); err != nil {
+			return err
+		}
+	}
+
+	pollute := func(n int, mangle func(path []bgp.ASN) []bgp.ASN) error {
+		for i := 0; i < n; i++ {
+			f := c.feeders[rng.Intn(len(c.feeders))]
+			d := dests[rng.Intn(len(dests))]
+			tr := c.engine.Tree(d)
+			route := tr.RouteFrom(f.ASN)
+			if route == nil {
+				continue
+			}
+			attrs := c.routeAttrs(f, route)
+			attrs.ASPath = bgp.NewASPath(mangle(append([]bgp.ASN(nil), route.Path...))...)
+			prefixes := topo.ASes[d].Prefixes
+			p := prefixes[rng.Intn(len(prefixes))]
+			at := ts.Add(time.Duration(rng.Intn(3600)) * time.Second)
+			if err := writeUpd(f, attrs, p, at); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Transient forged link: splice a random AS into the middle.
+	if err := pollute(opts.TransientPaths, func(path []bgp.ASN) []bgp.ASN {
+		if len(path) < 2 {
+			return path
+		}
+		inject := dests[rng.Intn(len(dests))]
+		pos := 1 + rng.Intn(len(path)-1)
+		out := append(path[:pos:pos], append([]bgp.ASN{inject}, path[pos:]...)...)
+		return out
+	}); err != nil {
+		return err
+	}
+	// Poisoned: repeat an earlier AS later in the path (cycle).
+	if err := pollute(opts.PoisonedPaths, func(path []bgp.ASN) []bgp.ASN {
+		if len(path) < 2 {
+			return append(path, path[0], path[len(path)-1])
+		}
+		return append(path, path[0])
+	}); err != nil {
+		return err
+	}
+	// Bogon: reserved ASN in the path.
+	if err := pollute(opts.BogonPaths, func(path []bgp.ASN) []bgp.ASN {
+		pos := rng.Intn(len(path))
+		out := append(path[:pos:pos], append([]bgp.ASN{bgp.ASTrans}, path[pos:]...)...)
+		return out
+	}); err != nil {
+		return err
+	}
+	return mw.Flush()
+}
+
+// WriteRIBFile writes the RIB dump to path.
+func (c *Collector) WriteRIBFile(path string, ts time.Time) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteRIB(f, ts); err != nil {
+		f.Close()
+		return fmt.Errorf("collector %s: %w", c.Name, err)
+	}
+	return f.Close()
+}
+
+// WriteUpdatesFile writes the update trace to path.
+func (c *Collector) WriteUpdatesFile(path string, ts time.Time, opts UpdateOptions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteUpdates(f, ts, opts); err != nil {
+		f.Close()
+		return fmt.Errorf("collector %s: %w", c.Name, err)
+	}
+	return f.Close()
+}

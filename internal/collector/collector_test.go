@@ -1,0 +1,210 @@
+package collector
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/mrt"
+	"mlpeering/internal/propagate"
+	"mlpeering/internal/topology"
+)
+
+func testEngine(t *testing.T) *propagate.Engine {
+	t.Helper()
+	topo, err := topology.Generate(topology.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return propagate.NewEngine(topo, 0)
+}
+
+func TestWriteAndReadRIB(t *testing.T) {
+	e := testEngine(t)
+	c := New("rrc-test", e, nil, 2)
+	ts := time.Date(2013, 5, 1, 0, 0, 0, 0, time.UTC)
+
+	var buf bytes.Buffer
+	if err := c.WriteRIB(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := mrt.ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Index == nil || len(dump.Index.Peers) != len(c.Feeders()) {
+		t.Fatalf("peer index: %+v", dump.Index)
+	}
+	if len(dump.RIBs) == 0 {
+		t.Fatal("empty RIB dump")
+	}
+
+	topo := e.Topology()
+	owners := topo.PrefixOwners()
+	commSeen := false
+	for _, rib := range dump.RIBs {
+		owner, ok := owners[rib.Prefix]
+		if !ok {
+			t.Fatalf("prefix %s has no owner", rib.Prefix)
+		}
+		for _, entry := range rib.Entries {
+			path := entry.Attrs.ASPath.Flatten()
+			if len(path) == 0 {
+				t.Fatal("empty AS path")
+			}
+			// Path starts at a feeder and ends at the origin.
+			feeder := dump.Index.Peers[entry.PeerIndex].ASN
+			if path[0] != feeder {
+				t.Fatalf("path %v does not start at feeder %s", path, feeder)
+			}
+			if path[len(path)-1] != owner {
+				t.Fatalf("path %v does not end at origin %s", path, owner)
+			}
+			if len(entry.Attrs.Communities) > 0 {
+				commSeen = true
+			}
+		}
+	}
+	if !commSeen {
+		t.Fatal("no communities in the archive: passive inference would be impossible")
+	}
+}
+
+func TestCustomerOnlyFeedersExportLess(t *testing.T) {
+	e := testEngine(t)
+	topo := e.Topology()
+	ts := time.Date(2013, 5, 1, 0, 0, 0, 0, time.UTC)
+
+	// Pick one feeder AS and compare its export volume under both kinds.
+	feeder := topo.Feeders[0]
+	full := []topology.Feeder{{ASN: feeder.ASN, Kind: topology.FeedFull}}
+	cust := []topology.Feeder{{ASN: feeder.ASN, Kind: topology.FeedCustomerOnly}}
+
+	count := func(fs []topology.Feeder) int {
+		var buf bytes.Buffer
+		if err := New("x", e, fs, 2).WriteRIB(&buf, ts); err != nil {
+			t.Fatal(err)
+		}
+		dump, err := mrt.ReadDump(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, r := range dump.RIBs {
+			n += len(r.Entries)
+		}
+		return n
+	}
+	nFull, nCust := count(full), count(cust)
+	if nCust >= nFull {
+		t.Fatalf("customer-only feed (%d entries) not smaller than full feed (%d)", nCust, nFull)
+	}
+	if nCust == 0 {
+		t.Fatal("customer-only feed exported nothing")
+	}
+}
+
+func TestWriteUpdates(t *testing.T) {
+	e := testEngine(t)
+	c := New("rrc-test", e, nil, 2)
+	ts := time.Date(2013, 5, 2, 0, 0, 0, 0, time.UTC)
+
+	var buf bytes.Buffer
+	opts := UpdateOptions{Churn: 60, TransientPaths: 5, PoisonedPaths: 4, BogonPaths: 3, Seed: 7}
+	if err := c.WriteUpdates(&buf, ts, opts); err != nil {
+		t.Fatal(err)
+	}
+	ups, err := mrt.ReadUpdates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) == 0 {
+		t.Fatal("no updates written")
+	}
+	cycles, bogons := 0, 0
+	for _, u := range ups {
+		upd, ok := u.Message.(*bgp.Update)
+		if !ok {
+			t.Fatalf("message type %T", u.Message)
+		}
+		if upd.Attrs.ASPath.HasCycle() {
+			cycles++
+		}
+		for _, a := range upd.Attrs.ASPath.Flatten() {
+			if a.IsReserved() {
+				bogons++
+				break
+			}
+		}
+	}
+	if cycles == 0 {
+		t.Fatal("poisoned paths missing")
+	}
+	if bogons == 0 {
+		t.Fatal("bogon paths missing")
+	}
+}
+
+func TestBuildRSRIBs(t *testing.T) {
+	e := testEngine(t)
+	ribs := propagate.BuildRSRIBs(e, 2)
+	topo := e.Topology()
+
+	if len(ribs) != len(topo.IXPs) {
+		t.Fatalf("RS RIBs = %d, want %d", len(ribs), len(topo.IXPs))
+	}
+	multi := 0
+	total := 0
+	for name, rib := range ribs {
+		info := topo.IXPByName(name)
+		if info == nil {
+			t.Fatalf("unknown IXP %s", name)
+		}
+		if len(rib.Entries) == 0 {
+			t.Fatalf("%s: empty RS RIB", name)
+		}
+		members := rib.Members()
+		for _, m := range members {
+			if !info.IsRSMember(m) {
+				t.Fatalf("%s: non-member %s in RS RIB", name, m)
+			}
+		}
+		for p, es := range rib.Entries {
+			total++
+			if len(es) > 1 {
+				multi++
+			}
+			seen := map[bgp.ASN]bool{}
+			for _, e := range es {
+				if seen[e.Member] {
+					t.Fatalf("%s: duplicate advertiser %s for %s", name, e.Member, p)
+				}
+				seen[e.Member] = true
+				if len(e.Path) == 0 || e.Path[0] != e.Member {
+					t.Fatalf("%s: malformed entry path %v", name, e.Path)
+				}
+			}
+		}
+		// PrefixesFrom agrees with Entries.
+		if len(members) > 0 {
+			m := members[0]
+			fromM := rib.PrefixesFrom(m)
+			for _, p := range fromM {
+				found := false
+				for _, e := range rib.Entries[p] {
+					if e.Member == m {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("PrefixesFrom inconsistency at %s", p)
+				}
+			}
+		}
+	}
+	// Multi-member prefixes must exist (Fig. 5's 48.4%).
+	if multi == 0 {
+		t.Fatalf("no multi-advertiser prefixes across %d prefixes", total)
+	}
+}

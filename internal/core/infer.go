@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sort"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/ixp"
+	"mlpeering/internal/topology"
+)
+
+// IXPInference is the per-IXP outcome of steps 4-5.
+type IXPInference struct {
+	Name string
+	// Members is the best-known RS member list used for inference.
+	Members []bgp.ASN
+	// Filters holds the reconstructed export filter of every covered
+	// member.
+	Filters map[bgp.ASN]ixp.ExportFilter
+	// Sources records how each covered member was observed.
+	Sources map[bgp.ASN]DataSource
+	// Links are the inferred multilateral peering links at this IXP.
+	Links map[topology.LinkKey]bool
+}
+
+// CoveredMembers returns the members with reconstructed filters,
+// ascending.
+func (x *IXPInference) CoveredMembers() []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(x.Filters))
+	for m := range x.Filters {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PassiveCount and ActiveCount split coverage by source; members seen
+// by both count as passive (they would not have been queried actively
+// under equation 2).
+func (x *IXPInference) PassiveCount() int {
+	n := 0
+	for _, s := range x.Sources {
+		if s&ObsPassive != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveCount counts members covered only by active queries.
+func (x *IXPInference) ActiveCount() int {
+	n := 0
+	for _, s := range x.Sources {
+		if s&ObsPassive == 0 && s&ObsActive != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Result is the complete inference outcome.
+type Result struct {
+	PerIXP map[string]*IXPInference
+	// Links maps every inferred link to the IXPs it was inferred at
+	// (multi-IXP links are the overlap discussed with Table 2).
+	Links map[topology.LinkKey][]string
+}
+
+// TotalLinks returns the number of distinct links.
+func (r *Result) TotalLinks() int { return len(r.Links) }
+
+// MultiIXPLinks returns how many links appear at more than one IXP.
+func (r *Result) MultiIXPLinks() int {
+	n := 0
+	for _, ixps := range r.Links {
+		if len(ixps) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// LinkCount returns the per-IXP link count (the "Links" column of
+// Table 2).
+func (r *Result) LinkCount(ixpName string) int {
+	x, ok := r.PerIXP[ixpName]
+	if !ok {
+		return 0
+	}
+	return len(x.Links)
+}
+
+// InferLinks executes steps 4-5 of §4.1 over the merged observations:
+// reconstruct each covered member's export filter, build its allow set
+// N_a, and infer a p2p link between a and a' iff each allows the other
+// (the reciprocity rule).
+func InferLinks(dict *Dictionary, obs *Observations) *Result {
+	res := &Result{
+		PerIXP: make(map[string]*IXPInference),
+		Links:  make(map[topology.LinkKey][]string),
+	}
+	for _, entry := range dict.Entries {
+		x := &IXPInference{
+			Name:    entry.Name,
+			Members: entry.Members(),
+			Filters: make(map[bgp.ASN]ixp.ExportFilter),
+			Sources: make(map[bgp.ASN]DataSource),
+			Links:   make(map[topology.LinkKey]bool),
+		}
+		res.PerIXP[entry.Name] = x
+
+		for _, setter := range obs.Setters(entry.Name) {
+			if !entry.IsMember(setter) {
+				continue // a stray observation outside known connectivity
+			}
+			f, ok := obs.Filter(entry.Name, setter, entry.Scheme)
+			if !ok {
+				continue
+			}
+			x.Filters[setter] = f
+			x.Sources[setter] = obs.Source(entry.Name, setter)
+		}
+
+		covered := x.CoveredMembers()
+		for i, a := range covered {
+			fa := x.Filters[a]
+			for _, b := range covered[i+1:] {
+				fb := x.Filters[b]
+				if fa.Allows(b) && fb.Allows(a) {
+					x.Links[topology.MakeLinkKey(a, b)] = true
+				}
+			}
+		}
+		for k := range x.Links {
+			res.Links[k] = append(res.Links[k], entry.Name)
+		}
+	}
+	for k := range res.Links {
+		sort.Strings(res.Links[k])
+	}
+	return res
+}
+
+// SumPerIXPLinks adds up the per-IXP link counts (larger than
+// TotalLinks by exactly the multi-IXP overlap, as in Table 2).
+func (r *Result) SumPerIXPLinks() int {
+	n := 0
+	for _, x := range r.PerIXP {
+		n += len(x.Links)
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/mrt"
+	"mlpeering/internal/relation"
+	"mlpeering/internal/topology"
+)
+
+// DropStats counts paths removed by the §5 hygiene filters.
+type DropStats struct {
+	Bogon     int // reserved/private ASN in path
+	Cycle     int // non-adjacent repeated AS (poisoning/misconfiguration)
+	Transient int // update-only paths never seen in a stable table
+}
+
+// PassiveResult is the outcome of mining collector archives.
+type PassiveResult struct {
+	// Obs holds the per-setter community observations.
+	Obs *Observations
+	// Paths are the surviving public AS paths (collector-peer first).
+	Paths [][]bgp.ASN
+	// Links is the public-view AS link set extracted from Paths.
+	Links map[topology.LinkKey]bool
+	// PrefixOrigins maps each prefix seen in public data to its origin
+	// AS (used by validation to pick query prefixes).
+	PrefixOrigins map[bgp.Prefix]bgp.ASN
+	// Rels is the relationship inference computed over Paths.
+	Rels *relation.Inference
+	// Dropped tallies filtered paths.
+	Dropped DropStats
+	// SetterUnresolved counts community observations discarded because
+	// the RS setter could not be pinpointed (§4.2 case 1), and
+	// IXPUnresolved those where no unique IXP could be identified.
+	SetterUnresolved, IXPUnresolved int
+}
+
+// pathRecord is one (path, communities, prefix) triple from the archive.
+type pathRecord struct {
+	path   []bgp.ASN
+	comms  bgp.Communities
+	prefix bgp.Prefix
+	stable bool // came from a RIB dump rather than an update
+}
+
+// RunPassive mines MRT archives per §4.2: hygiene-filter the paths,
+// identify RS communities and their IXP, pinpoint the setter, and
+// record observations.
+func RunPassive(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Dictionary) (*PassiveResult, error) {
+	res := &PassiveResult{
+		Obs:           NewObservations(),
+		Links:         make(map[topology.LinkKey]bool),
+		PrefixOrigins: make(map[bgp.Prefix]bgp.ASN),
+	}
+
+	var records []pathRecord
+	stableKeys := make(map[string]bool)
+
+	appendRecord := func(path []bgp.ASN, comms bgp.Communities, prefix bgp.Prefix, stable bool) {
+		rec := pathRecord{path: path, comms: comms, prefix: prefix, stable: stable}
+		records = append(records, rec)
+		if stable {
+			stableKeys[pathKey(path)] = true
+		}
+	}
+
+	for _, d := range dumps {
+		if d == nil || d.Index == nil {
+			continue
+		}
+		for _, rib := range d.RIBs {
+			for _, e := range rib.Entries {
+				if e.Attrs == nil {
+					continue
+				}
+				appendRecord(e.Attrs.ASPath.Dedup(), e.Attrs.Communities, rib.Prefix, true)
+			}
+		}
+	}
+	for _, u := range updates {
+		upd, ok := u.Message.(*bgp.Update)
+		if !ok || upd.Attrs == nil {
+			continue
+		}
+		for _, p := range upd.NLRI {
+			appendRecord(upd.Attrs.ASPath.Dedup(), upd.Attrs.Communities, p, false)
+		}
+	}
+
+	// Hygiene pass (§5): drop bogons, cycles and transient paths.
+	var clean []pathRecord
+	for _, rec := range records {
+		if hasBogon(rec.path) {
+			res.Dropped.Bogon++
+			continue
+		}
+		if hasCycle(rec.path) {
+			res.Dropped.Cycle++
+			continue
+		}
+		if !rec.stable && !stableKeys[pathKey(rec.path)] {
+			res.Dropped.Transient++
+			continue
+		}
+		clean = append(clean, rec)
+	}
+
+	// Public view: paths, links, prefix origins.
+	seenPath := make(map[string]bool)
+	for _, rec := range clean {
+		if len(rec.path) == 0 {
+			continue
+		}
+		k := pathKey(rec.path)
+		if !seenPath[k] {
+			seenPath[k] = true
+			res.Paths = append(res.Paths, rec.path)
+		}
+		for i := 0; i+1 < len(rec.path); i++ {
+			res.Links[topology.MakeLinkKey(rec.path[i], rec.path[i+1])] = true
+		}
+		res.PrefixOrigins[rec.prefix] = rec.path[len(rec.path)-1]
+	}
+
+	// Relationship inference over the public view, needed for the
+	// setter disambiguation of case 3.
+	res.Rels = relation.Infer(res.Paths)
+
+	// Community mining.
+	for _, rec := range clean {
+		if len(rec.comms) == 0 {
+			continue
+		}
+		entry, ok := dict.IdentifyIXP(rec.comms)
+		if !ok {
+			if anySchemeRelevant(dict, rec.comms) {
+				res.IXPUnresolved++
+			}
+			continue
+		}
+		setter, ok := PinpointSetter(rec.path, entry, res.Rels)
+		if !ok {
+			res.SetterUnresolved++
+			continue
+		}
+		res.Obs.Add(entry.Name, setter, rec.prefix, entry.Scheme.RelevantCommunities(rec.comms), ObsPassive)
+	}
+	return res, nil
+}
+
+// PinpointSetter identifies which AS on the path applied the RS
+// communities (§4.2):
+//
+//  1. fewer than two IXP participants on the path: unresolvable;
+//  2. exactly two: the one closest to the origin;
+//  3. more than two: the participant pair with a p2p relationship is the
+//     route-server crossing; the setter is its origin-side AS.
+func PinpointSetter(path []bgp.ASN, entry *IXPEntry, rels *relation.Inference) (bgp.ASN, bool) {
+	var positions []int
+	for i, a := range path {
+		if entry.IsMember(a) {
+			positions = append(positions, i)
+		}
+	}
+	switch {
+	case len(positions) < 2:
+		return 0, false
+	case len(positions) == 2:
+		// Closest to the origin = rightmost.
+		return path[positions[1]], true
+	default:
+		// Adjacent member pairs with an inferred p2p relationship; the
+		// setter is the origin-side member of that pair.
+		for i := len(positions) - 1; i > 0; i-- {
+			l, r := positions[i-1], positions[i]
+			if r != l+1 {
+				continue
+			}
+			if rels != nil && rels.Relationship(path[l], path[r]) == relation.RelP2P {
+				return path[r], true
+			}
+		}
+		return 0, false
+	}
+}
+
+func anySchemeRelevant(dict *Dictionary, cs bgp.Communities) bool {
+	for _, e := range dict.Entries {
+		if len(e.Scheme.RelevantCommunities(cs)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func hasBogon(path []bgp.ASN) bool {
+	for _, a := range path {
+		if !a.Routable() {
+			return true
+		}
+	}
+	return false
+}
+
+func hasCycle(path []bgp.ASN) bool {
+	seen := make(map[bgp.ASN]bool, len(path))
+	for _, a := range path {
+		if seen[a] {
+			return true
+		}
+		seen[a] = true
+	}
+	return false
+}
+
+func pathKey(path []bgp.ASN) string {
+	b := make([]byte, 0, len(path)*5)
+	for _, a := range path {
+		b = append(b, byte(a>>24), byte(a>>16), byte(a>>8), byte(a), '|')
+	}
+	return string(b)
+}

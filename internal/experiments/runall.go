@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunAll executes every experiment and renders it to w, in the order
+// the paper presents them.
+func (c *Context) RunAll(w io.Writer) error {
+	c.Figure1().Render().Render(w)
+
+	t2 := c.Table2()
+	t2.Render().Render(w)
+
+	fmt.Fprintln(w, "-- consistency (§4.3) --")
+	for _, name := range c.ixpOrder() {
+		st := c.Run.Merged.Consistency(name)
+		if st.Setters == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s setters=%d inconsistent=%d deviantPrefixFrac=%.3f\n",
+			name, st.Setters, st.InconsistentSetters, st.DeviantPrefixFrac)
+	}
+	fmt.Fprintln(w)
+
+	qc, err := c.QueryCost()
+	if err != nil {
+		return fmt.Errorf("query cost: %w", err)
+	}
+	qc.Render().Render(w)
+
+	rec, err := c.Reciprocity("")
+	if err != nil {
+		return fmt.Errorf("reciprocity: %w", err)
+	}
+	rec.Render().Render(w)
+
+	c.Figure5("").Render().Render(w)
+	c.Figure6().Render().Render(w)
+	c.Figure7().Render().Render(w)
+
+	t3, err := c.Table3()
+	if err != nil {
+		return fmt.Errorf("table 3: %w", err)
+	}
+	t3.Render().Render(w)
+
+	f8, err := c.Figure8()
+	if err != nil {
+		return fmt.Errorf("figure 8: %w", err)
+	}
+	f8.Render().Render(w)
+
+	c.Figure9().Render().Render(w)
+	c.Figure10().Render().Render(w)
+	c.Figure11().Render().Render(w)
+	c.Figure12().Render().Render(w)
+	c.Figure13().Render().Render(w)
+	c.Hybrid().Render().Render(w)
+	c.GlobalEstimate().Render().Render(w)
+	return nil
+}

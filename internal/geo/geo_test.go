@@ -1,0 +1,97 @@
+package geo
+
+import (
+	"net/netip"
+	"testing"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/ixp"
+)
+
+func testDB() *Database {
+	return New(map[bgp.Prefix]ixp.Region{
+		bgp.MustPrefix("20.0.0.0/22"): ixp.RegionWestEU,
+		bgp.MustPrefix("20.0.4.0/22"): ixp.RegionWestEU,
+		bgp.MustPrefix("20.0.8.0/22"): ixp.RegionEastEU,
+		bgp.MustPrefix("20.1.0.0/22"): ixp.RegionNorthAmerica,
+		bgp.MustPrefix("20.1.4.0/22"): ixp.RegionAsiaPacific,
+		bgp.MustPrefix("20.2.0.0/16"): ixp.RegionAfrica,
+		bgp.MustPrefix("20.2.4.0/22"): ixp.RegionLatinAmerica, // more specific than the /16
+	})
+}
+
+func TestLookups(t *testing.T) {
+	d := testDB()
+	if r, ok := d.LookupPrefix(bgp.MustPrefix("20.0.0.0/22")); !ok || r != ixp.RegionWestEU {
+		t.Fatalf("LookupPrefix = %v, %v", r, ok)
+	}
+	if _, ok := d.LookupPrefix(bgp.MustPrefix("99.0.0.0/8")); ok {
+		t.Fatal("phantom prefix")
+	}
+	// Most-specific wins for addresses.
+	if r, ok := d.LookupAddr(netip.MustParseAddr("20.2.4.7")); !ok || r != ixp.RegionLatinAmerica {
+		t.Fatalf("LookupAddr specific = %v, %v", r, ok)
+	}
+	if r, ok := d.LookupAddr(netip.MustParseAddr("20.2.99.1")); !ok || r != ixp.RegionAfrica {
+		t.Fatalf("LookupAddr general = %v, %v", r, ok)
+	}
+	if _, ok := d.LookupAddr(netip.MustParseAddr("8.8.8.8")); ok {
+		t.Fatal("phantom addr")
+	}
+	if d.Len() != 7 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestSpreadSelectMaximizesDiversity(t *testing.T) {
+	d := testDB()
+	prefixes := []bgp.Prefix{
+		bgp.MustPrefix("20.0.0.0/22"), // eu-west
+		bgp.MustPrefix("20.0.4.0/22"), // eu-west
+		bgp.MustPrefix("20.0.8.0/22"), // eu-east
+		bgp.MustPrefix("20.1.0.0/22"), // na
+		bgp.MustPrefix("20.1.4.0/22"), // apac
+	}
+	got := d.SpreadSelect(prefixes, 3)
+	if len(got) != 3 {
+		t.Fatalf("selected %d", len(got))
+	}
+	regions := d.Regions(got)
+	if len(regions) != 3 {
+		t.Fatalf("only %d distinct regions in %v", len(regions), got)
+	}
+
+	// Selecting more than available returns all, deterministically.
+	all1 := d.SpreadSelect(prefixes, 10)
+	all2 := d.SpreadSelect(prefixes, 10)
+	if len(all1) != len(prefixes) {
+		t.Fatalf("selected %d of %d", len(all1), len(prefixes))
+	}
+	for i := range all1 {
+		if all1[i] != all2[i] {
+			t.Fatal("selection not deterministic")
+		}
+	}
+}
+
+func TestSpreadSelectEdgeCases(t *testing.T) {
+	d := testDB()
+	if d.SpreadSelect(nil, 3) != nil {
+		t.Fatal("empty input")
+	}
+	if d.SpreadSelect([]bgp.Prefix{bgp.MustPrefix("20.0.0.0/22")}, 0) != nil {
+		t.Fatal("zero k")
+	}
+	// Unknown prefixes are used only as filler.
+	mixed := []bgp.Prefix{
+		bgp.MustPrefix("99.0.0.0/22"), // unknown
+		bgp.MustPrefix("20.1.0.0/22"), // na
+		bgp.MustPrefix("20.1.4.0/22"), // apac
+	}
+	got := d.SpreadSelect(mixed, 2)
+	for _, p := range got {
+		if _, ok := d.LookupPrefix(p); !ok {
+			t.Fatalf("unknown prefix %v chosen before known ones", p)
+		}
+	}
+}

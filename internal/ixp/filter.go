@@ -1,0 +1,191 @@
+package ixp
+
+import (
+	"fmt"
+	"sort"
+
+	"mlpeering/internal/bgp"
+)
+
+// FilterMode selects which of the two composite patterns a member uses
+// to express its export policy toward the route server (§3).
+type FilterMode int
+
+const (
+	// ModeAllExcept: announce to all members except the listed ones
+	// (ALL + EXCLUDE communities).
+	ModeAllExcept FilterMode = iota
+	// ModeNoneExcept: announce to nobody except the listed ones
+	// (NONE + INCLUDE communities).
+	ModeNoneExcept
+)
+
+// String implements fmt.Stringer.
+func (m FilterMode) String() string {
+	if m == ModeAllExcept {
+		return "ALL+EXCLUDE"
+	}
+	return "NONE+INCLUDE"
+}
+
+// ExportFilter is a member's export policy toward one route server: the
+// ground truth the topology generator assigns and the object the
+// inference algorithm reconstructs from observed communities.
+type ExportFilter struct {
+	Mode  FilterMode
+	Peers map[bgp.ASN]bool // excluded (ModeAllExcept) or included (ModeNoneExcept)
+}
+
+// NewExportFilter builds a filter over the given peer list.
+func NewExportFilter(mode FilterMode, peers ...bgp.ASN) ExportFilter {
+	f := ExportFilter{Mode: mode, Peers: make(map[bgp.ASN]bool, len(peers))}
+	for _, p := range peers {
+		f.Peers[p] = true
+	}
+	return f
+}
+
+// OpenFilter announces to every member: ALL with no excludes.
+func OpenFilter() ExportFilter { return ExportFilter{Mode: ModeAllExcept} }
+
+// Allows reports whether routes are exported toward peer.
+func (f ExportFilter) Allows(peer bgp.ASN) bool {
+	if f.Mode == ModeAllExcept {
+		return !f.Peers[peer]
+	}
+	return f.Peers[peer]
+}
+
+// PeerList returns the filter's peer set in ascending order.
+func (f ExportFilter) PeerList() []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(f.Peers))
+	for p := range f.Peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllowedCount returns how many of the candidate members receive routes.
+// The member itself is conventionally not counted.
+func (f ExportFilter) AllowedCount(members []bgp.ASN, self bgp.ASN) int {
+	n := 0
+	for _, m := range members {
+		if m != self && f.Allows(m) {
+			n++
+		}
+	}
+	return n
+}
+
+// Communities encodes the filter into the RS community values attached
+// to the member's announcements, per the scheme. Encoding follows
+// operational practice:
+//
+//   - ModeAllExcept with no excludes emits just the ALL community (some
+//     members omit even that, since it is the default; see OmitDefault).
+//   - ModeAllExcept with excludes emits ALL + one EXCLUDE per peer.
+//   - ModeNoneExcept emits NONE + one INCLUDE per peer.
+func (f ExportFilter) Communities(s *Scheme) (bgp.Communities, error) {
+	var cs bgp.Communities
+	switch f.Mode {
+	case ModeAllExcept:
+		cs = append(cs, s.All)
+		for _, p := range f.PeerList() {
+			c, err := s.Exclude(p)
+			if err != nil {
+				return nil, err
+			}
+			cs = append(cs, c)
+		}
+	case ModeNoneExcept:
+		cs = append(cs, s.None)
+		for _, p := range f.PeerList() {
+			c, err := s.Include(p)
+			if err != nil {
+				return nil, err
+			}
+			cs = append(cs, c)
+		}
+	default:
+		return nil, fmt.Errorf("ixp: unknown filter mode %d", f.Mode)
+	}
+	return cs, nil
+}
+
+// OmitDefault strips the leading ALL community, modeling members that
+// rely on the route server's default behaviour instead of tagging it
+// explicitly. Such announcements are the hard case for passive IXP
+// identification (§4.2): only EXCLUDE values remain, whose high half
+// may not identify the IXP.
+func OmitDefault(cs bgp.Communities, s Scheme) bgp.Communities {
+	var out bgp.Communities
+	for _, c := range cs {
+		if c == s.All {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// FilterFromCommunities reconstructs an export filter from the RS
+// communities observed on a member's announcements. It is the inverse
+// of Communities and tolerates the omitted-ALL case: EXCLUDEs without
+// ALL imply ModeAllExcept, INCLUDEs without NONE imply ModeNoneExcept,
+// and an empty relevant set means the default open policy. Communities
+// unrelated to the scheme are ignored.
+func FilterFromCommunities(cs bgp.Communities, s Scheme) ExportFilter {
+	var excludes, includes []bgp.ASN
+	sawAll, sawNone := false, false
+	for _, c := range cs {
+		switch act, peer := s.Classify(c); act {
+		case ActionAll:
+			sawAll = true
+		case ActionBlock:
+			sawNone = true
+		case ActionExclude:
+			excludes = append(excludes, peer)
+		case ActionInclude:
+			includes = append(includes, peer)
+		}
+	}
+	switch {
+	case sawNone:
+		return NewExportFilter(ModeNoneExcept, includes...)
+	case sawAll:
+		return NewExportFilter(ModeAllExcept, excludes...)
+	case len(includes) > 0:
+		return NewExportFilter(ModeNoneExcept, includes...)
+	case len(excludes) > 0:
+		return NewExportFilter(ModeAllExcept, excludes...)
+	default:
+		return OpenFilter()
+	}
+}
+
+// Equal reports whether two filters express the same policy.
+func (f ExportFilter) Equal(o ExportFilter) bool {
+	if f.Mode != o.Mode || len(f.Peers) != len(o.Peers) {
+		return false
+	}
+	for p := range f.Peers {
+		if !o.Peers[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// RelevantCommunities extracts the subset of cs that this scheme
+// interprets, preserving order. Used when a route carries both RS
+// communities and unrelated informational communities.
+func (s Scheme) RelevantCommunities(cs bgp.Communities) bgp.Communities {
+	var out bgp.Communities
+	for _, c := range cs {
+		if act, _ := s.Classify(c); act != ActionNone {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+// Package ixp defines the vocabulary shared by the route server
+// implementation, the topology generator and the inference algorithm:
+// route-server community schemes (paper §3, Table 1), member export
+// filters, and IXP/membership descriptors.
+package ixp
+
+import (
+	"fmt"
+
+	"mlpeering/internal/bgp"
+)
+
+// Action is the semantic of one route-server community value.
+type Action int
+
+// The four community actions common to all IXPs the paper studied (§3).
+const (
+	ActionNone    Action = iota // not an RS community
+	ActionAll                   // announce to all RS members (default)
+	ActionExclude               // block announcement toward one member
+	ActionBlock                 // block announcement toward all members
+	ActionInclude               // allow announcement toward one member
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionAll:
+		return "ALL"
+	case ActionExclude:
+		return "EXCLUDE"
+	case ActionBlock:
+		return "NONE"
+	case ActionInclude:
+		return "INCLUDE"
+	default:
+		return "unrelated"
+	}
+}
+
+// Scheme describes how one IXP's route servers encode filtering
+// communities, generalizing the patterns of Table 1:
+//
+//	DE-CIX  ALL=6695:6695  EXCLUDE=0:peer      NONE=0:6695   INCLUDE=6695:peer
+//	MSK-IX  ALL=8631:8631  EXCLUDE=0:peer      NONE=0:8631   INCLUDE=8631:peer
+//	ECIX    ALL=9033:9033  EXCLUDE=64960:peer  NONE=65000:0  INCLUDE=65000:peer
+type Scheme struct {
+	// RSASN is the ASN of the IXP's route servers.
+	RSASN bgp.ASN
+	// All is the exact community announcing to everyone.
+	All bgp.Community
+	// None is the exact community blocking everyone.
+	None bgp.Community
+	// ExcludeHigh is the high half of EXCLUDE=ExcludeHigh:peer.
+	ExcludeHigh bgp.ASN
+	// IncludeHigh is the high half of INCLUDE=IncludeHigh:peer.
+	IncludeHigh bgp.ASN
+	// Mapper translates 32-bit member ASNs to the 16-bit aliases the
+	// IXP publishes; nil if the IXP has no 32-bit members.
+	Mapper *bgp.ASNMapper
+}
+
+// StandardScheme returns the DE-CIX-style scheme for a route server ASN:
+// ALL=rs:rs, EXCLUDE=0:peer, NONE=0:rs, INCLUDE=rs:peer. This is the
+// most common pattern and the one whose values identify the IXP from
+// either community half.
+func StandardScheme(rsASN bgp.ASN) Scheme {
+	return Scheme{
+		RSASN:       rsASN,
+		All:         bgp.MakeCommunity(rsASN, rsASN),
+		None:        bgp.MakeCommunity(0, rsASN),
+		ExcludeHigh: 0,
+		IncludeHigh: rsASN,
+	}
+}
+
+// PrivateRangeScheme returns the ECIX-style scheme, which encodes the
+// actions in the private ASN range rather than with the RS ASN:
+// ALL=rs:rs, EXCLUDE=64960:peer, NONE=65000:0, INCLUDE=65000:peer.
+// Only the ALL community reveals the IXP; EXCLUDE/INCLUDE values are
+// ambiguous across IXPs using the same convention.
+func PrivateRangeScheme(rsASN bgp.ASN) Scheme {
+	return Scheme{
+		RSASN:       rsASN,
+		All:         bgp.MakeCommunity(rsASN, rsASN),
+		None:        bgp.MakeCommunity(65000, 0),
+		ExcludeHigh: 64960,
+		IncludeHigh: 65000,
+	}
+}
+
+// Classify decodes one community under the scheme. For EXCLUDE and
+// INCLUDE actions it also returns the referenced member's real ASN
+// (resolving 16-bit aliases through the mapper).
+func (s Scheme) Classify(c bgp.Community) (Action, bgp.ASN) {
+	switch c {
+	case s.All:
+		return ActionAll, 0
+	case s.None:
+		return ActionBlock, 0
+	}
+	peer := c.Low()
+	if s.Mapper != nil {
+		peer = s.Mapper.Resolve(peer)
+	}
+	// INCLUDE is checked before EXCLUDE so that schemes where
+	// IncludeHigh == RSASN (standard) do not shadow; the two high
+	// halves are distinct in all real schemes.
+	if c.High() == s.IncludeHigh {
+		return ActionInclude, peer
+	}
+	if c.High() == s.ExcludeHigh {
+		return ActionExclude, peer
+	}
+	return ActionNone, 0
+}
+
+// EncodePeer returns the low half used to reference member asn,
+// allocating a 16-bit alias if needed.
+func (s *Scheme) EncodePeer(asn bgp.ASN) (bgp.ASN, error) {
+	if !asn.Is32Bit() {
+		return asn, nil
+	}
+	if s.Mapper == nil {
+		s.Mapper = bgp.NewASNMapper()
+	}
+	return s.Mapper.Alias(asn)
+}
+
+// Exclude returns the community blocking announcements toward asn.
+func (s *Scheme) Exclude(asn bgp.ASN) (bgp.Community, error) {
+	p, err := s.EncodePeer(asn)
+	if err != nil {
+		return 0, err
+	}
+	c := bgp.MakeCommunity(s.ExcludeHigh, p)
+	if c == s.None || c == s.All {
+		return 0, fmt.Errorf("ixp: EXCLUDE %s collides with scheme constant %s", asn, c)
+	}
+	return c, nil
+}
+
+// Include returns the community allowing announcements toward asn.
+func (s *Scheme) Include(asn bgp.ASN) (bgp.Community, error) {
+	p, err := s.EncodePeer(asn)
+	if err != nil {
+		return 0, err
+	}
+	c := bgp.MakeCommunity(s.IncludeHigh, p)
+	if c == s.None || c == s.All {
+		return 0, fmt.Errorf("ixp: INCLUDE %s collides with scheme constant %s", asn, c)
+	}
+	return c, nil
+}
+
+// Identifiable reports whether a community under this scheme reveals the
+// IXP on its own: ALL and NONE always do when they embed the RS ASN;
+// EXCLUDE/INCLUDE do when their high half is the RS ASN. The paper's
+// passive pipeline uses this to decide whether EXCLUDE-combination
+// disambiguation is needed (§4.2).
+func (s Scheme) Identifiable(c bgp.Community) bool {
+	switch c {
+	case s.All:
+		return true
+	case s.None:
+		return c.High() == s.RSASN || c.Low() == s.RSASN
+	}
+	return (c.High() == s.IncludeHigh && s.IncludeHigh == s.RSASN) ||
+		(c.High() == s.ExcludeHigh && s.ExcludeHigh == s.RSASN)
+}

@@ -1,0 +1,255 @@
+// Package metrics provides the small statistics and rendering toolkit
+// the experiment harness uses: empirical CDF/CCDFs, quantiles, and
+// fixed-width table rendering for paper-versus-measured comparisons.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a renderable result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Series is a named sequence of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Distribution summarizes an empirical sample.
+type Distribution struct {
+	values []float64 // sorted
+}
+
+// NewDistribution builds a distribution from a sample.
+func NewDistribution(sample []float64) *Distribution {
+	v := append([]float64(nil), sample...)
+	sort.Float64s(v)
+	return &Distribution{values: v}
+}
+
+// NewDistributionInts builds a distribution from integers.
+func NewDistributionInts(sample []int) *Distribution {
+	v := make([]float64, len(sample))
+	for i, x := range sample {
+		v[i] = float64(x)
+	}
+	return NewDistribution(v)
+}
+
+// Len returns the sample size.
+func (d *Distribution) Len() int { return len(d.values) }
+
+// Mean returns the sample mean (0 for empty).
+func (d *Distribution) Mean() float64 {
+	if len(d.values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range d.values {
+		s += v
+	}
+	return s / float64(len(d.values))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank.
+func (d *Distribution) Quantile(q float64) float64 {
+	if len(d.values) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return d.values[0]
+	}
+	if q >= 1 {
+		return d.values[len(d.values)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(d.values)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return d.values[idx]
+}
+
+// FracAtLeast returns the fraction of samples ≥ x.
+func (d *Distribution) FracAtLeast(x float64) float64 {
+	if len(d.values) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(d.values, x)
+	return float64(len(d.values)-i) / float64(len(d.values))
+}
+
+// FracAtMost returns the fraction of samples ≤ x.
+func (d *Distribution) FracAtMost(x float64) float64 {
+	if len(d.values) == 0 {
+		return 0
+	}
+	i := sort.Search(len(d.values), func(i int) bool { return d.values[i] > x })
+	return float64(i) / float64(len(d.values))
+}
+
+// CDF returns the empirical CDF evaluated at each distinct value.
+func (d *Distribution) CDF(name string) *Series {
+	s := &Series{Name: name}
+	n := float64(len(d.values))
+	for i := 0; i < len(d.values); {
+		j := i
+		for j < len(d.values) && d.values[j] == d.values[i] {
+			j++
+		}
+		s.X = append(s.X, d.values[i])
+		s.Y = append(s.Y, float64(j)/n)
+		i = j
+	}
+	return s
+}
+
+// CCDF returns the complementary CDF: P(X >= x) at each distinct value.
+func (d *Distribution) CCDF(name string) *Series {
+	s := &Series{Name: name}
+	n := float64(len(d.values))
+	for i := 0; i < len(d.values); {
+		j := i
+		for j < len(d.values) && d.values[j] == d.values[i] {
+			j++
+		}
+		s.X = append(s.X, d.values[i])
+		s.Y = append(s.Y, float64(len(d.values)-i)/n)
+		i = j
+	}
+	return s
+}
+
+// RenderSeries prints a compact multi-column listing of series points.
+func RenderSeries(w io.Writer, series ...*Series) {
+	for _, s := range series {
+		fmt.Fprintf(w, "# %s\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(w, "%g\t%g\n", s.X[i], s.Y[i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Histogram counts samples into labeled integer bins.
+type Histogram struct {
+	Counts map[int]int
+}
+
+// NewHistogram builds a histogram from integer samples.
+func NewHistogram(samples []int) *Histogram {
+	h := &Histogram{Counts: make(map[int]int)}
+	for _, s := range samples {
+		h.Counts[s]++
+	}
+	return h
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Frac returns the fraction of samples in bin b.
+func (h *Histogram) Frac(b int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Counts[b]) / float64(t)
+}
+
+// Bins returns the occupied bins in ascending order.
+func (h *Histogram) Bins() []int {
+	out := make([]int, 0, len(h.Counts))
+	for b := range h.Counts {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Ratio guards against division by zero.
+func Ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

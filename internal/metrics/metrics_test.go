@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "T", Columns: []string{"IXP", "Links"}}
+	tbl.AddRow("DE-CIX", 54082)
+	tbl.AddRow("AMS-IX", 49249)
+	tbl.Notes = append(tbl.Notes, "synthetic")
+	s := tbl.String()
+	for _, want := range []string{"T\n=", "IXP", "54082", "note: synthetic"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestDistributionBasics(t *testing.T) {
+	d := NewDistributionInts([]int{1, 2, 2, 3, 10})
+	if d.Len() != 5 {
+		t.Fatal("len")
+	}
+	if m := d.Mean(); math.Abs(m-3.6) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	if q := d.Quantile(0.5); q != 2 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := d.Quantile(0); q != 1 {
+		t.Fatalf("min = %v", q)
+	}
+	if q := d.Quantile(1); q != 10 {
+		t.Fatalf("max = %v", q)
+	}
+	if f := d.FracAtLeast(2); math.Abs(f-0.8) > 1e-9 {
+		t.Fatalf("FracAtLeast(2) = %v", f)
+	}
+	if f := d.FracAtMost(2); math.Abs(f-0.6) > 1e-9 {
+		t.Fatalf("FracAtMost(2) = %v", f)
+	}
+	if !math.IsNaN(NewDistribution(nil).Quantile(0.5)) {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestCDFAndCCDF(t *testing.T) {
+	d := NewDistributionInts([]int{1, 1, 2, 4})
+	cdf := d.CDF("cdf")
+	if len(cdf.X) != 3 || cdf.X[0] != 1 || cdf.Y[0] != 0.5 || cdf.Y[2] != 1.0 {
+		t.Fatalf("cdf = %+v", cdf)
+	}
+	ccdf := d.CCDF("ccdf")
+	if ccdf.Y[0] != 1.0 || ccdf.Y[1] != 0.5 || ccdf.Y[2] != 0.25 {
+		t.Fatalf("ccdf = %+v", ccdf)
+	}
+	var sb strings.Builder
+	RenderSeries(&sb, cdf, ccdf)
+	if !strings.Contains(sb.String(), "# cdf") || !strings.Contains(sb.String(), "# ccdf") {
+		t.Fatal("render")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ints := make([]int, len(raw))
+		for i, v := range raw {
+			ints[i] = int(v)
+		}
+		d := NewDistributionInts(ints)
+		cdf := d.CDF("x")
+		for i := 1; i < len(cdf.Y); i++ {
+			if cdf.Y[i] < cdf.Y[i-1] || cdf.X[i] <= cdf.X[i-1] {
+				return false
+			}
+		}
+		return len(cdf.Y) == 0 || math.Abs(cdf.Y[len(cdf.Y)-1]-1.0) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]int{0, 1, 1, 3})
+	if h.Total() != 4 || h.Frac(1) != 0.5 {
+		t.Fatalf("%+v", h)
+	}
+	bins := h.Bins()
+	if len(bins) != 3 || bins[0] != 0 || bins[2] != 3 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if NewHistogram(nil).Frac(1) != 0 {
+		t.Fatal("empty histogram")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Pct(0.984) != "98.4%" {
+		t.Fatalf("Pct = %s", Pct(0.984))
+	}
+	if Ratio(1, 0) != 0 || Ratio(1, 2) != 0.5 {
+		t.Fatal("Ratio")
+	}
+}

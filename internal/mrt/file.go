@@ -1,0 +1,222 @@
+package mrt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// ErrShortHeader is returned by Reader.Next when the stream ends inside
+// a record header (a cleanly-ended archive returns io.EOF instead).
+var ErrShortHeader = errors.New("mrt: truncated record header")
+
+// Writer writes MRT records to an underlying stream.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// WriteRecord writes one record with the common MRT header.
+func (w *Writer) WriteRecord(ts time.Time, typ, subtype uint16, body []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	var hdr [12]byte
+	sec := uint32(ts.Unix())
+	hdr[0], hdr[1], hdr[2], hdr[3] = byte(sec>>24), byte(sec>>16), byte(sec>>8), byte(sec)
+	hdr[4], hdr[5] = byte(typ>>8), byte(typ)
+	hdr[6], hdr[7] = byte(subtype>>8), byte(subtype)
+	l := uint32(len(body))
+	hdr[8], hdr[9], hdr[10], hdr[11] = byte(l>>24), byte(l>>16), byte(l>>8), byte(l)
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(body); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// WritePeerIndexTable marshals and writes t.
+func (w *Writer) WritePeerIndexTable(ts time.Time, t *PeerIndexTable) error {
+	body, err := MarshalPeerIndexTable(t)
+	if err != nil {
+		return err
+	}
+	return w.WriteRecord(ts, TypeTableDumpV2, SubtypePeerIndexTable, body)
+}
+
+// WriteRIB marshals and writes r, choosing the subtype from the prefix
+// address family.
+func (w *Writer) WriteRIB(ts time.Time, r *RIBRecord) error {
+	body, err := MarshalRIBRecord(r)
+	if err != nil {
+		return err
+	}
+	sub := uint16(SubtypeRIBIPv4Unicast)
+	if r.Prefix.Addr().Is6() {
+		sub = SubtypeRIBIPv6Unicast
+	}
+	return w.WriteRecord(ts, TypeTableDumpV2, sub, body)
+}
+
+// WriteBGP4MP marshals and writes m.
+func (w *Writer) WriteBGP4MP(ts time.Time, m *BGP4MPMessage) error {
+	body, err := MarshalBGP4MP(m)
+	if err != nil {
+		return err
+	}
+	sub := uint16(SubtypeBGP4MPMessage)
+	if m.AS4 {
+		sub = SubtypeBGP4MPMessageAS4
+	}
+	return w.WriteRecord(ts, TypeBGP4MP, sub, body)
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader reads MRT records from a stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Next returns the next raw record, or io.EOF at a clean end of stream.
+func (r *Reader) Next() (*Record, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, ErrShortHeader
+	}
+	rec := &Record{
+		Timestamp: time.Unix(int64(get32(hdr[:])), 0).UTC(),
+		Type:      get16(hdr[4:]),
+		Subtype:   get16(hdr[6:]),
+	}
+	length := get32(hdr[8:])
+	const maxRecord = 64 << 20
+	if length > maxRecord {
+		return nil, fmt.Errorf("mrt: record length %d exceeds %d", length, maxRecord)
+	}
+	rec.Body = make([]byte, length)
+	if _, err := io.ReadFull(r.r, rec.Body); err != nil {
+		return nil, fmt.Errorf("mrt: truncated record body: %w", err)
+	}
+	return rec, nil
+}
+
+// Dump is the decoded contents of a TABLE_DUMP_V2 archive.
+type Dump struct {
+	Index *PeerIndexTable
+	RIBs  []*RIBRecord
+}
+
+// ReadDump decodes a full TABLE_DUMP_V2 archive from r. BGP4MP records
+// interleaved in the stream are ignored.
+func ReadDump(r io.Reader) (*Dump, error) {
+	rd := NewReader(r)
+	d := &Dump{}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Type != TypeTableDumpV2 {
+			continue
+		}
+		switch rec.Subtype {
+		case SubtypePeerIndexTable:
+			idx, err := UnmarshalPeerIndexTable(rec.Body)
+			if err != nil {
+				return nil, err
+			}
+			d.Index = idx
+		case SubtypeRIBIPv4Unicast, SubtypeRIBIPv6Unicast:
+			rib, err := UnmarshalRIBRecord(rec.Body, rec.Subtype == SubtypeRIBIPv6Unicast)
+			if err != nil {
+				return nil, err
+			}
+			d.RIBs = append(d.RIBs, rib)
+		}
+	}
+	if d.Index == nil && len(d.RIBs) > 0 {
+		return nil, errors.New("mrt: RIB records without a peer index table")
+	}
+	return d, nil
+}
+
+// ReadDumpFile opens path and decodes it with ReadDump.
+func ReadDumpFile(path string) (*Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := ReadDump(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// ReadUpdates decodes all BGP4MP message records from r, skipping
+// TABLE_DUMP_V2 records.
+func ReadUpdates(r io.Reader) ([]*BGP4MPMessage, error) {
+	rd := NewReader(r)
+	var out []*BGP4MPMessage
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Type != TypeBGP4MP {
+			continue
+		}
+		switch rec.Subtype {
+		case SubtypeBGP4MPMessage, SubtypeBGP4MPMessageAS4:
+			m, err := UnmarshalBGP4MP(rec.Body, rec.Subtype == SubtypeBGP4MPMessageAS4)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	}
+}
+
+// ReadUpdatesFile opens path and decodes it with ReadUpdates.
+func ReadUpdatesFile(path string) ([]*BGP4MPMessage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ms, err := ReadUpdates(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ms, nil
+}

@@ -1,0 +1,99 @@
+package peeringdb
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestPolicyScopeParsing(t *testing.T) {
+	for _, p := range []Policy{PolicyUnknown, PolicyOpen, PolicySelective, PolicyRestrictive} {
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("policy %v: %v, %v", p, back, err)
+		}
+	}
+	for _, s := range []Scope{ScopeUnknown, ScopeGlobal, ScopeEurope, ScopeRegional} {
+		back, err := ParseScope(s.String())
+		if err != nil || back != s {
+			t.Errorf("scope %v: %v, %v", s, back, err)
+		}
+	}
+	if _, err := ParsePolicy("friendly"); err == nil {
+		t.Error("bad policy must error")
+	}
+	if _, err := ParseScope("mars"); err == nil {
+		t.Error("bad scope must error")
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Put(&Record{ASN: 15169, Name: "BigContent", Policy: PolicyOpen, Scope: ScopeGlobal})
+	r.Put(&Record{ASN: 9002, Name: "EastISP", Policy: PolicySelective, Scope: ScopeEurope, LGURLs: []string{"http://lg.example/"}})
+
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Policy(15169) != PolicyOpen || r.Scope(9002) != ScopeEurope {
+		t.Fatal("lookups")
+	}
+	if r.Policy(1) != PolicyUnknown || r.Scope(1) != ScopeUnknown {
+		t.Fatal("absent AS must report unknown")
+	}
+	if got := r.ASNs(); len(got) != 2 || got[0] != 9002 {
+		t.Fatalf("ASNs = %v", got)
+	}
+	lgs := r.WithLG()
+	if len(lgs) != 1 || lgs[0].ASN != 9002 {
+		t.Fatalf("WithLG = %v", lgs)
+	}
+
+	// Get returns a copy; mutations must not leak back.
+	rec := r.Get(15169)
+	rec.Policy = PolicyRestrictive
+	if r.Policy(15169) != PolicyOpen {
+		t.Fatal("Get leaked internal state")
+	}
+}
+
+func TestRegistryJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Put(&Record{ASN: 100, Name: "A", Policy: PolicyOpen, Scope: ScopeRegional, IXPs: []string{"DE-CIX"}})
+	r.Put(&Record{ASN: 200, Name: "B", Policy: PolicyRestrictive})
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRegistry()
+	if _, err := r2.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 2 || r2.Policy(100) != PolicyOpen || len(r2.Get(100).IXPs) != 1 {
+		t.Fatalf("round trip: %+v", r2.Get(100))
+	}
+
+	if _, err := NewRegistry().ReadFrom(bytes.NewBufferString("{bad")); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+}
+
+func TestRegistryFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pdb.json")
+	r := NewRegistry()
+	r.Put(&Record{ASN: 42, Name: "X", Policy: PolicySelective})
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Policy(42) != PolicySelective {
+		t.Fatal("file round trip")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,321 @@
+// Package pipeline assembles the full measurement world end to end:
+// synthetic topology → propagation → collector MRT archives, route
+// server RIBs, looking glasses served over real HTTP, IRR and PeeringDB
+// registries — and then drives the paper's inference algorithm over
+// those data sources exactly as an operator would over the real ones.
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/collector"
+	"mlpeering/internal/core"
+	"mlpeering/internal/geo"
+	"mlpeering/internal/irr"
+	"mlpeering/internal/lg"
+	"mlpeering/internal/mrt"
+	"mlpeering/internal/peeringdb"
+	"mlpeering/internal/propagate"
+	"mlpeering/internal/topology"
+)
+
+// World bundles every substrate for one generated Internet.
+type World struct {
+	Topo   *topology.Topology
+	Engine *propagate.Engine
+	RSRIBs map[string]*propagate.RSRIB
+
+	IRR *irr.Registry
+	Geo *geo.Database
+	PDB *peeringdb.Registry
+
+	// Dumps and Updates are the collector archives, parsed back from
+	// MRT bytes so the full codec path is exercised.
+	Dumps   []*mrt.Dump
+	Updates []*mrt.BGP4MPMessage
+
+	lgServer *lg.Server
+	httpSrv  *http.Server
+	baseURL  string
+
+	// Owners indexes prefix origination ground truth (used by the AS
+	// looking glasses, which know their own routing tables).
+	Owners map[bgp.Prefix]bgp.ASN
+
+	cfg topology.Config
+}
+
+// Timestamp is the nominal collection time: the paper's 1 May 2013.
+var Timestamp = time.Date(2013, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// BuildWorld generates and wires a world from the topology config.
+func BuildWorld(cfg topology.Config) (*World, error) {
+	topo, err := topology.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		Topo:   topo,
+		Engine: propagate.NewEngine(topo, 0),
+		Geo:    geo.New(topo.PrefixRegions),
+		IRR:    irr.Build(topo, cfg.IRRRegistrationFrac, cfg.Seed+1),
+		Owners: topo.PrefixOwners(),
+		cfg:    cfg,
+	}
+	w.RSRIBs = propagate.BuildRSRIBs(w.Engine, 4)
+	w.PDB = buildPDB(topo)
+
+	// Collector archives: write MRT to memory, read back.
+	col := collector.New("rrc-synth", w.Engine, nil, 4)
+	var ribBuf, updBuf bytes.Buffer
+	if err := col.WriteRIB(&ribBuf, Timestamp); err != nil {
+		return nil, err
+	}
+	dump, err := mrt.ReadDump(&ribBuf)
+	if err != nil {
+		return nil, err
+	}
+	w.Dumps = []*mrt.Dump{dump}
+	updOpts := collector.UpdateOptions{
+		Churn:          200,
+		TransientPaths: 12,
+		PoisonedPaths:  8,
+		BogonPaths:     6,
+		Seed:           cfg.Seed + 2,
+	}
+	if err := col.WriteUpdates(&updBuf, Timestamp.Add(time.Hour), updOpts); err != nil {
+		return nil, err
+	}
+	w.Updates, err = mrt.ReadUpdates(&updBuf)
+	if err != nil {
+		return nil, err
+	}
+
+	w.buildLGServer()
+	return w, nil
+}
+
+func buildPDB(topo *topology.Topology) *peeringdb.Registry {
+	reg := peeringdb.NewRegistry()
+	ixpsOf := make(map[bgp.ASN][]string)
+	for _, info := range topo.IXPs {
+		for _, m := range info.Members {
+			ixpsOf[m] = append(ixpsOf[m], info.Name)
+		}
+	}
+	lgHosts := make(map[bgp.ASN]bool)
+	for _, l := range topo.ValidationLGs {
+		lgHosts[l.ASN] = true
+	}
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		if !as.Registered {
+			continue
+		}
+		rec := &peeringdb.Record{
+			ASN:    asn,
+			Name:   as.Name,
+			Policy: as.Policy,
+			Scope:  as.Scope,
+			IXPs:   ixpsOf[asn],
+		}
+		if lgHosts[asn] {
+			rec.LGURLs = []string{"/as/" + asn.String()}
+		}
+		reg.Put(rec)
+	}
+	return reg
+}
+
+// buildLGServer mounts every looking glass:
+//
+//	/rs/<ixp-name>   IXP route server LGs (HasLG IXPs)
+//	/as/<asn>        member and validation LGs
+func (w *World) buildLGServer() {
+	srv := lg.NewServer()
+	mountedAS := make(map[bgp.ASN]bool)
+	mountAS := func(host topology.LGHost) {
+		if mountedAS[host.ASN] {
+			return
+		}
+		mountedAS[host.ASN] = true
+		srv.Mount("as/"+host.ASN.String(), lg.NewASBackend(w.Engine, host.ASN, w.Owners, host.AllPaths))
+	}
+	for _, info := range w.Topo.IXPs {
+		if info.HasLG {
+			var hidden []bgp.ASN
+			if info.Name == "DTEL-IX" {
+				// The paper's footnote 3: DTEL-IX's LG refuses queries
+				// for 5 members (of 71) who do not disclose
+				// connectivity; scale the count with the member list.
+				members := info.SortedRSMembers()
+				n := len(members) / 14
+				if n > 5 {
+					n = 5
+				}
+				hidden = members[:n]
+			}
+			srv.Mount("rs/"+info.Name, lg.NewRSBackend(w.RSRIBs[info.Name], hidden))
+		}
+		for _, h := range w.Topo.MemberLGs[info.Name] {
+			mountAS(h)
+		}
+	}
+	for _, h := range w.Topo.ValidationLGs {
+		mountAS(h)
+	}
+	w.lgServer = srv
+}
+
+// StartLGs serves all looking glasses on a loopback HTTP listener.
+func (w *World) StartLGs() error {
+	if w.httpSrv != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("pipeline: starting LG server: %w", err)
+	}
+	w.httpSrv = &http.Server{Handler: w.lgServer.Handler()}
+	w.baseURL = "http://" + ln.Addr().String()
+	go func() { _ = w.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// BaseURL returns the LG server's base URL (after StartLGs).
+func (w *World) BaseURL() string { return w.baseURL }
+
+// LGHandler exposes the looking-glass HTTP handler for callers that
+// manage their own listener (cmd/lgserve).
+func (w *World) LGHandler() http.Handler { return w.lgServer.Handler() }
+
+// Close shuts down the LG server.
+func (w *World) Close() error {
+	if w.httpSrv == nil {
+		return nil
+	}
+	err := w.httpSrv.Close()
+	w.httpSrv = nil
+	return err
+}
+
+// lgClient builds a client with the standard (disabled-in-tests) rate
+// limit.
+func (w *World) lgClient(path string, limiter *lg.RateLimiter) *lg.Client {
+	return &lg.Client{BaseURL: w.baseURL + "/" + path, Limiter: limiter}
+}
+
+// LGEndpoints assembles the per-IXP looking-glass clients for the
+// active survey. interval paces queries (0 disables rate limiting).
+func (w *World) LGEndpoints(interval time.Duration) map[string]core.IXPLGs {
+	out := make(map[string]core.IXPLGs, len(w.Topo.IXPs))
+	for _, info := range w.Topo.IXPs {
+		var e core.IXPLGs
+		if info.HasLG {
+			e.RS = w.lgClient("rs/"+info.Name, lg.NewRateLimiter(interval))
+		}
+		for _, h := range w.Topo.MemberLGs[info.Name] {
+			e.Members = append(e.Members, core.MemberLG{
+				Client: w.lgClient("as/"+h.ASN.String(), lg.NewRateLimiter(interval)),
+				Host:   h.ASN,
+			})
+		}
+		out[info.Name] = e
+	}
+	return out
+}
+
+// ValidationLGs assembles the validation clients (§5.1's 70 LGs).
+func (w *World) ValidationLGs(interval time.Duration) []core.ValidationLG {
+	var out []core.ValidationLG
+	for _, h := range w.Topo.ValidationLGs {
+		out = append(out, core.ValidationLG{
+			Client:   w.lgClient("as/"+h.ASN.String(), lg.NewRateLimiter(interval)),
+			Host:     h.ASN,
+			AllPaths: h.AllPaths,
+		})
+	}
+	return out
+}
+
+// Dictionary builds the inference dictionary from the world's public
+// data sources (IXP documentation plus the IRR).
+func (w *World) Dictionary() (*core.Dictionary, error) {
+	var sites []core.WebsiteData
+	for _, info := range w.Topo.IXPs {
+		site := core.WebsiteData{
+			Name:                info.Name,
+			Scheme:              info.Scheme,
+			PublishesMemberList: info.PublishesMemberList,
+		}
+		if info.PublishesMemberList {
+			site.PublishedRSMembers = info.SortedRSMembers()
+		}
+		sites = append(sites, site)
+	}
+	return core.BuildDictionary(sites, w.IRR)
+}
+
+// Run is the complete inference outcome over one world.
+type Run struct {
+	Dict    *core.Dictionary
+	Passive *core.PassiveResult
+	Active  *core.ActiveResult
+	Merged  *core.Observations
+	Result  *core.Result
+}
+
+// RunInference executes the full pipeline: passive mining of the MRT
+// archives, the active LG survey, merge, and link inference.
+func (w *World) RunInference(ctx context.Context, activeCfg core.ActiveConfig) (*Run, error) {
+	if err := w.StartLGs(); err != nil {
+		return nil, err
+	}
+	dict, err := w.Dictionary()
+	if err != nil {
+		return nil, err
+	}
+	passive, err := core.RunPassive(w.Dumps, w.Updates, dict)
+	if err != nil {
+		return nil, err
+	}
+	hints := make(map[bgp.ASN][]bgp.Prefix)
+	for p, origin := range passive.PrefixOrigins {
+		hints[origin] = append(hints[origin], p)
+	}
+	active, err := core.RunActive(ctx, dict, w.LGEndpoints(0), passive.Obs, hints, activeCfg)
+	if err != nil {
+		return nil, err
+	}
+	merged := core.NewObservations()
+	merged.Merge(passive.Obs)
+	merged.Merge(active.Obs)
+	return &Run{
+		Dict:    dict,
+		Passive: passive,
+		Active:  active,
+		Merged:  merged,
+		Result:  core.InferLinks(dict, merged),
+	}, nil
+}
+
+// Validator builds the §5.1 validation engine over this world.
+func (w *World) Validator(run *Run, interval time.Duration) *core.Validator {
+	prefixes := make(map[bgp.ASN][]bgp.Prefix)
+	for p, origin := range run.Passive.PrefixOrigins {
+		prefixes[origin] = append(prefixes[origin], p)
+	}
+	return &core.Validator{
+		LGs:              w.ValidationLGs(interval),
+		Geo:              w.Geo,
+		PrefixesByOrigin: prefixes,
+		Rels:             run.Passive.Rels,
+		MaxPrefixes:      6,
+	}
+}

@@ -1,0 +1,390 @@
+// Package propagate computes BGP route propagation over the synthetic
+// topology: for every destination AS it builds the Gao-Rexford routing
+// tree (customer routes up, one peer hop — bilateral or via a route
+// server — then down to customers), tracks where route-server
+// communities are attached, and reconstructs the routes any vantage
+// point would see, including whether communities survive to it.
+//
+// This is the substrate that stands in for the live Internet: collector
+// archives, looking-glass output and the public AS-path view are all
+// derived from these trees.
+package propagate
+
+import (
+	"sort"
+	"sync"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/ixp"
+	"mlpeering/internal/topology"
+)
+
+// Class ranks how a route was learned, in increasing preference.
+type Class uint8
+
+// Route classes. Higher is preferred (standard local-pref policy).
+const (
+	ClassNone     Class = iota // no route
+	ClassProvider              // learned from a provider
+	ClassPeer                  // learned from a peer (bilateral or RS)
+	ClassCustomer              // learned from a customer
+	ClassOrigin                // self-originated
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassProvider:
+		return "provider"
+	case ClassPeer:
+		return "peer"
+	case ClassCustomer:
+		return "customer"
+	case ClassOrigin:
+		return "origin"
+	default:
+		return "none"
+	}
+}
+
+const (
+	noVia int32 = -1
+	noIXP int16 = -1
+)
+
+// hop is one AS's state in a routing tree.
+type hop struct {
+	via       int32 // next-hop AS index toward the destination
+	viaIXP    int16 // index into Engine.ixps when the edge is via an RS
+	bilateral bool  // the edge is a bilateral peer edge
+	class     Class
+	dist      uint16
+}
+
+type ixpState struct {
+	info    *ixp.Info
+	members []int32
+	exports map[int32]ixp.ExportFilter
+	imports map[int32]ixp.ExportFilter
+	comms   map[int32]bgp.Communities
+}
+
+// Engine computes and caches routing trees for a fixed topology.
+// It is safe for concurrent use.
+type Engine struct {
+	topo *topology.Topology
+
+	idx  map[bgp.ASN]int32
+	asns []bgp.ASN
+
+	up      [][]int32 // providers plus siblings: customer routes travel here
+	down    [][]int32 // customers plus siblings
+	peers   [][]int32
+	strips  []bool
+	prefBil []bool
+
+	ixps       []*ixpState
+	ixpsByName map[string]int16
+
+	mu       sync.Mutex
+	cache    map[bgp.ASN]*Tree
+	cacheCap int
+}
+
+// NewEngine builds an engine over topo. cacheCap bounds the number of
+// routing trees kept in memory (0 means a generous default).
+func NewEngine(topo *topology.Topology, cacheCap int) *Engine {
+	if cacheCap <= 0 {
+		cacheCap = 4096
+	}
+	n := len(topo.Order)
+	e := &Engine{
+		topo:       topo,
+		idx:        make(map[bgp.ASN]int32, n),
+		asns:       make([]bgp.ASN, n),
+		up:         make([][]int32, n),
+		down:       make([][]int32, n),
+		peers:      make([][]int32, n),
+		strips:     make([]bool, n),
+		prefBil:    make([]bool, n),
+		ixpsByName: make(map[string]int16),
+		cache:      make(map[bgp.ASN]*Tree),
+		cacheCap:   cacheCap,
+	}
+	for i, asn := range topo.Order {
+		e.idx[asn] = int32(i)
+		e.asns[i] = asn
+	}
+	toIdx := func(asns []bgp.ASN) []int32 {
+		out := make([]int32, 0, len(asns))
+		for _, a := range asns {
+			if j, ok := e.idx[a]; ok {
+				out = append(out, j)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for i, asn := range topo.Order {
+		as := topo.ASes[asn]
+		e.up[i] = toIdx(append(append([]bgp.ASN(nil), as.Providers...), as.Siblings...))
+		e.down[i] = toIdx(append(append([]bgp.ASN(nil), as.Customers...), as.Siblings...))
+		e.peers[i] = toIdx(as.Peers)
+		e.strips[i] = as.StripsCommunities
+		e.prefBil[i] = as.PrefersBilateral
+	}
+	for _, info := range topo.IXPs {
+		st := &ixpState{
+			info:    info,
+			exports: make(map[int32]ixp.ExportFilter),
+			imports: make(map[int32]ixp.ExportFilter),
+			comms:   make(map[int32]bgp.Communities),
+		}
+		for _, m := range info.SortedRSMembers() {
+			mi, ok := e.idx[m]
+			if !ok {
+				continue
+			}
+			st.members = append(st.members, mi)
+			if f, ok := topo.ExportFilter(info.Name, m); ok {
+				st.exports[mi] = f
+			}
+			if f, ok := topo.ImportFilter(info.Name, m); ok {
+				st.imports[mi] = f
+			}
+			if cs, ok := topo.MemberCommunities(info.Name, m); ok {
+				st.comms[mi] = cs
+			}
+		}
+		e.ixpsByName[info.Name] = int16(len(e.ixps))
+		e.ixps = append(e.ixps, st)
+	}
+	return e
+}
+
+// Topology returns the engine's world.
+func (e *Engine) Topology() *topology.Topology { return e.topo }
+
+// Tree returns the routing tree toward dest, computing and caching it
+// on first use. It returns nil for an unknown destination.
+func (e *Engine) Tree(dest bgp.ASN) *Tree {
+	if _, ok := e.idx[dest]; !ok {
+		return nil
+	}
+	e.mu.Lock()
+	if tr, ok := e.cache[dest]; ok {
+		e.mu.Unlock()
+		return tr
+	}
+	e.mu.Unlock()
+
+	tr := e.compute(dest)
+
+	e.mu.Lock()
+	if len(e.cache) >= e.cacheCap {
+		// Drop an arbitrary entry; access patterns are bulk scans so
+		// sophistication buys nothing.
+		for k := range e.cache {
+			delete(e.cache, k)
+			break
+		}
+	}
+	e.cache[dest] = tr
+	e.mu.Unlock()
+	return tr
+}
+
+// ForEachTree computes the tree of every destination in ascending ASN
+// order using workers goroutines, invoking fn sequentially (fn needs no
+// locking). Trees are not cached; use this for bulk scans.
+func (e *Engine) ForEachTree(workers int, fn func(*Tree)) {
+	if workers <= 0 {
+		workers = 4
+	}
+	dests := e.asns
+	out := make([]*Tree, len(dests))
+	var next int
+	var nextMu sync.Mutex
+	// Compute in windows so memory stays bounded while fn consumes
+	// trees in deterministic destination order.
+	const window = 256
+	for start := 0; start < len(dests); start += window {
+		end := start + window
+		if end > len(dests) {
+			end = len(dests)
+		}
+		next = start
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					nextMu.Lock()
+					i := next
+					if i >= end {
+						nextMu.Unlock()
+						return
+					}
+					next++
+					nextMu.Unlock()
+					out[i] = e.compute(dests[i])
+				}
+			}()
+		}
+		wg.Wait()
+		for i := start; i < end; i++ {
+			fn(out[i])
+			out[i] = nil
+		}
+	}
+}
+
+// compute builds the routing tree toward dest.
+func (e *Engine) compute(dest bgp.ASN) *Tree {
+	n := len(e.asns)
+	di := e.idx[dest]
+	hops := make([]hop, n)
+	for i := range hops {
+		hops[i] = hop{via: noVia, viaIXP: noIXP}
+	}
+	hops[di] = hop{via: noVia, viaIXP: noIXP, class: ClassOrigin, dist: 0}
+
+	// Phase 1: customer routes propagate up provider (and sibling) edges.
+	frontier := []int32{di}
+	inNext := make([]bool, n)
+	for dist := uint16(1); len(frontier) > 0; dist++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, p := range e.up[u] {
+				h := &hops[p]
+				if h.class > ClassCustomer {
+					continue // the origin itself
+				}
+				if h.class == ClassCustomer {
+					if h.dist < dist || (h.dist == dist && h.via <= u) {
+						continue
+					}
+				}
+				wasRouted := h.class == ClassCustomer
+				hops[p] = hop{via: u, viaIXP: noIXP, class: ClassCustomer, dist: dist}
+				if !wasRouted && !inNext[p] {
+					inNext[p] = true
+					next = append(next, p)
+				}
+			}
+		}
+		for _, p := range next {
+			inNext[p] = false
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		frontier = next
+	}
+
+	better := func(v int32, cand hop) bool {
+		cur := hops[v]
+		if cand.class != cur.class {
+			return cand.class > cur.class
+		}
+		if cand.class == ClassPeer && e.prefBil[v] && cand.bilateral != cur.bilateral {
+			return cand.bilateral
+		}
+		if cand.dist != cur.dist {
+			return cand.dist < cur.dist
+		}
+		return cand.via < cur.via
+	}
+
+	// Phase 2a: bilateral peer edges, one hop.
+	for u := int32(0); u < int32(n); u++ {
+		if hops[u].class < ClassCustomer {
+			continue
+		}
+		d := hops[u].dist + 1
+		for _, v := range e.peers[u] {
+			cand := hop{via: u, viaIXP: noIXP, bilateral: true, class: ClassPeer, dist: d}
+			if better(v, cand) {
+				hops[v] = cand
+			}
+		}
+	}
+
+	// Phase 2b: route servers. Members with customer/origin routes
+	// export them to the RS; every member whose filters line up
+	// receives a peer-class route. The exporter list per IXP is kept on
+	// the tree for RS-RIB construction.
+	exporters := make([][]int32, len(e.ixps))
+	for xi, st := range e.ixps {
+		if st.info.StripsCommunities {
+			// Netnod-style servers still reflect routes; only the
+			// communities are gone. Handled at reconstruction.
+		}
+		var exp []int32
+		for _, m := range st.members {
+			if hops[m].class >= ClassCustomer {
+				exp = append(exp, m)
+			}
+		}
+		exporters[xi] = exp
+		for _, eIdx := range exp {
+			ef, ok := st.exports[eIdx]
+			if !ok {
+				continue
+			}
+			d := hops[eIdx].dist + 1
+			eASN := e.asns[eIdx]
+			for _, v := range st.members {
+				if v == eIdx {
+					continue
+				}
+				imf, ok := st.imports[v]
+				if !ok {
+					continue
+				}
+				if !ef.Allows(e.asns[v]) || !imf.Allows(eASN) {
+					continue
+				}
+				cand := hop{via: eIdx, viaIXP: int16(xi), class: ClassPeer, dist: d}
+				if better(v, cand) {
+					hops[v] = cand
+				}
+			}
+		}
+	}
+
+	// Phase 3: everything propagates down customer (and sibling) edges.
+	maxDist := uint16(0)
+	for i := range hops {
+		if hops[i].class != ClassNone && hops[i].dist > maxDist {
+			maxDist = hops[i].dist
+		}
+	}
+	buckets := make([][]int32, int(maxDist)+2)
+	for i := int32(0); i < int32(n); i++ {
+		if hops[i].class != ClassNone {
+			buckets[hops[i].dist] = append(buckets[hops[i].dist], i)
+		}
+	}
+	for d := 0; d < len(buckets); d++ {
+		bucket := buckets[d]
+		sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
+		for _, u := range bucket {
+			if int(hops[u].dist) != d || hops[u].class == ClassNone {
+				continue // stale queue entry
+			}
+			nd := uint16(d) + 1
+			for _, c := range e.down[u] {
+				cand := hop{via: u, viaIXP: noIXP, class: ClassProvider, dist: nd}
+				if better(c, cand) {
+					hops[c] = cand
+					for len(buckets) <= int(nd) {
+						buckets = append(buckets, nil)
+					}
+					buckets[nd] = append(buckets[nd], c)
+				}
+			}
+		}
+	}
+
+	return &Tree{e: e, dest: dest, destIdx: di, hops: hops, exporters: exporters}
+}

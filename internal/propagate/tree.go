@@ -1,0 +1,293 @@
+package propagate
+
+import (
+	"sort"
+
+	"mlpeering/internal/bgp"
+)
+
+// Tree is the routing tree toward one destination AS.
+type Tree struct {
+	e       *Engine
+	dest    bgp.ASN
+	destIdx int32
+	hops    []hop
+	// exporters[xi] lists the RS members (by index) exporting a
+	// customer/origin route toward dest at IXP xi.
+	exporters [][]int32
+}
+
+// Dest returns the destination AS.
+func (t *Tree) Dest() bgp.ASN { return t.dest }
+
+// Class returns how asn reaches the destination (ClassNone if it
+// cannot).
+func (t *Tree) Class(asn bgp.ASN) Class {
+	i, ok := t.e.idx[asn]
+	if !ok {
+		return ClassNone
+	}
+	return t.hops[i].class
+}
+
+// Dist returns the AS-hop distance from asn to the destination; ok is
+// false when there is no route.
+func (t *Tree) Dist(asn bgp.ASN) (int, bool) {
+	i, ok := t.e.idx[asn]
+	if !ok || t.hops[i].class == ClassNone {
+		return 0, false
+	}
+	return int(t.hops[i].dist), true
+}
+
+// Exporters returns the RS members exporting a route toward the
+// destination at the named IXP, ascending by ASN. This is the "which
+// members advertise this destination's prefixes to the RS" relation
+// behind Fig. 5 and the RS looking glass.
+func (t *Tree) Exporters(ixpName string) []bgp.ASN {
+	xi, ok := t.e.ixpsByName[ixpName]
+	if !ok {
+		return nil
+	}
+	// Exporting also requires a non-empty export filter: a member that
+	// announces to nobody contributes nothing to the RS RIB.
+	st := t.e.ixps[xi]
+	var out []bgp.ASN
+	for _, m := range t.exporters[xi] {
+		if _, ok := st.exports[m]; ok {
+			out = append(out, t.e.asns[m])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VantageRoute is a route as seen at one vantage AS: the reconstructed
+// AS path (vantage first, destination last), the communities that
+// survived to the vantage, and bookkeeping about the route-server
+// crossing if any.
+type VantageRoute struct {
+	Path        []bgp.ASN
+	Communities bgp.Communities
+	Class       Class
+	Bilateral   bool   // first hop is a bilateral peer edge
+	ViaIXP      string // IXP name when the path crosses a route server
+	RSSetter    bgp.ASN
+	Best        bool
+}
+
+// PathFrom returns the best AS path from vantage to the destination
+// (vantage first), or nil when the vantage has no route. Non-transparent
+// route servers appear in the path.
+func (t *Tree) PathFrom(vantage bgp.ASN) []bgp.ASN {
+	r := t.RouteFrom(vantage)
+	if r == nil {
+		return nil
+	}
+	return r.Path
+}
+
+// RouteFrom returns the best route at the vantage AS, or nil.
+func (t *Tree) RouteFrom(vantage bgp.ASN) *VantageRoute {
+	vi, ok := t.e.idx[vantage]
+	if !ok || t.hops[vi].class == ClassNone {
+		return nil
+	}
+	return t.reconstruct(vi)
+}
+
+// reconstruct follows via pointers from vi to the destination.
+func (t *Tree) reconstruct(vi int32) *VantageRoute {
+	e := t.e
+	r := &VantageRoute{
+		Class:     t.hops[vi].class,
+		Bilateral: t.hops[vi].bilateral,
+		Best:      true,
+	}
+	// Walk the chain. dist strictly decreases along via pointers, so
+	// this terminates.
+	var rsImporterPos = -1 // position in Path of the member that imported from the RS
+	var rsExporter int32 = noVia
+	var rsIXP int16 = noIXP
+	cur := vi
+	for {
+		r.Path = append(r.Path, e.asns[cur])
+		h := t.hops[cur]
+		if h.via == noVia {
+			break
+		}
+		if h.viaIXP != noIXP {
+			rsImporterPos = len(r.Path) - 1
+			rsExporter = h.via
+			rsIXP = h.viaIXP
+			st := e.ixps[h.viaIXP]
+			if !st.info.Transparent {
+				r.Path = append(r.Path, st.info.Scheme.RSASN)
+			}
+		}
+		cur = h.via
+	}
+	if rsIXP != noIXP {
+		st := e.ixps[rsIXP]
+		r.ViaIXP = st.info.Name
+		r.RSSetter = e.asns[rsExporter]
+		if !st.info.StripsCommunities {
+			// Communities attached by the exporter survive to the
+			// vantage iff no AS between the vantage (exclusive) and the
+			// importer (inclusive) strips them on export.
+			survive := true
+			for p := 1; p <= rsImporterPos; p++ {
+				if e.strips[e.idx[r.Path[p]]] {
+					survive = false
+					break
+				}
+			}
+			if survive {
+				r.Communities = st.comms[rsExporter].Clone()
+			}
+		}
+	}
+	return r
+}
+
+// AvailableRoutesFrom enumerates every route the vantage AS has in its
+// Adj-RIB-In toward the destination, best first: the view an all-paths
+// looking glass prints. Alternatives whose path would traverse the
+// vantage itself are suppressed (BGP loop prevention).
+func (t *Tree) AvailableRoutesFrom(vantage bgp.ASN) []*VantageRoute {
+	e := t.e
+	vi, ok := e.idx[vantage]
+	if !ok {
+		return nil
+	}
+	var out []*VantageRoute
+
+	add := func(nb int32, class Class, bilateral bool, viaIXPIdx int16) {
+		sub := t.hops[nb]
+		if sub.class == ClassNone {
+			return
+		}
+		nbRoute := t.reconstruct(nb)
+		for _, a := range nbRoute.Path {
+			if a == vantage {
+				return // loop
+			}
+		}
+		r := &VantageRoute{
+			Path:      append([]bgp.ASN{vantage}, nbRoute.Path...),
+			Class:     class,
+			Bilateral: bilateral,
+		}
+		if viaIXPIdx != noIXP {
+			st := e.ixps[viaIXPIdx]
+			r.ViaIXP = st.info.Name
+			r.RSSetter = e.asns[nb]
+			if !st.info.Transparent {
+				r.Path = append([]bgp.ASN{vantage, st.info.Scheme.RSASN}, nbRoute.Path...)
+			}
+			if !st.info.StripsCommunities {
+				r.Communities = st.comms[nb].Clone()
+			}
+		} else {
+			// Communities on the neighbor's route survive to the
+			// vantage iff the neighbor itself does not strip.
+			if nbRoute.Communities != nil && !e.strips[nb] {
+				r.Communities = nbRoute.Communities
+				r.ViaIXP = nbRoute.ViaIXP
+				r.RSSetter = nbRoute.RSSetter
+			}
+		}
+		out = append(out, r)
+	}
+
+	if t.hops[vi].class == ClassOrigin {
+		return []*VantageRoute{{Path: []bgp.ASN{vantage}, Class: ClassOrigin, Best: true}}
+	}
+
+	as := e.topo.ASes[vantage]
+	// Customer routes: customers export their customer/origin routes.
+	for _, c := range as.Customers {
+		ci, ok := e.idx[c]
+		if !ok {
+			continue
+		}
+		if t.hops[ci].class >= ClassCustomer {
+			add(ci, ClassCustomer, false, noIXP)
+		}
+	}
+	// Sibling routes: siblings export everything; classify like customers.
+	for _, s := range as.Siblings {
+		si, ok := e.idx[s]
+		if !ok {
+			continue
+		}
+		if t.hops[si].class != ClassNone {
+			add(si, ClassCustomer, false, noIXP)
+		}
+	}
+	// Bilateral peers export customer/origin routes.
+	for _, p := range as.Peers {
+		pi, ok := e.idx[p]
+		if !ok {
+			continue
+		}
+		if t.hops[pi].class >= ClassCustomer {
+			add(pi, ClassPeer, true, noIXP)
+		}
+	}
+	// Route server peers.
+	for xi, st := range e.ixps {
+		imf, isMember := st.imports[vi]
+		if !isMember {
+			continue
+		}
+		for _, ei := range t.exporters[xi] {
+			if ei == vi {
+				continue
+			}
+			ef, ok := st.exports[ei]
+			if !ok {
+				continue
+			}
+			if !ef.Allows(vantage) || !imf.Allows(e.asns[ei]) {
+				continue
+			}
+			add(ei, ClassPeer, false, int16(xi))
+		}
+	}
+	// Providers export their full table.
+	for _, p := range as.Providers {
+		pi, ok := e.idx[p]
+		if !ok {
+			continue
+		}
+		if t.hops[pi].class != ClassNone {
+			add(pi, ClassProvider, false, noIXP)
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return t.routeLess(vi, out[i], out[j]) })
+	if len(out) > 0 {
+		out[0].Best = true
+	}
+	return out
+}
+
+// routeLess orders candidate routes at a vantage by the same preference
+// the engine applies: class, the bilateral quirk, path length, then
+// neighbor ASN.
+func (t *Tree) routeLess(vi int32, a, b *VantageRoute) bool {
+	if a.Class != b.Class {
+		return a.Class > b.Class
+	}
+	if a.Class == ClassPeer && t.e.prefBil[vi] && a.Bilateral != b.Bilateral {
+		return a.Bilateral
+	}
+	if len(a.Path) != len(b.Path) {
+		return len(a.Path) < len(b.Path)
+	}
+	if len(a.Path) > 1 && len(b.Path) > 1 {
+		return a.Path[1] < b.Path[1]
+	}
+	return false
+}

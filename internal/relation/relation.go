@@ -1,0 +1,307 @@
+// Package relation infers AS business relationships from observed BGP
+// AS paths, in the spirit of the CAIDA AS-Rank algorithm the paper
+// relies on ([32]): clique detection at the top of the hierarchy,
+// transit degrees, and per-path vote assignment around the path's
+// "peak". It also computes customer cones and customer degrees, used
+// for RS-setter disambiguation (§4.2 case 3), the stub analysis of
+// Fig. 7, and the repeller analysis of §5.5.
+package relation
+
+import (
+	"sort"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/topology"
+)
+
+// Rel is an inferred relationship for an unordered AS pair (A < B).
+type Rel int
+
+// Relationship labels. RelAB means A is the customer (A→B is c2p).
+const (
+	RelUnknown Rel = iota
+	RelP2P         // A and B peer
+	RelC2P         // A is a customer of B
+	RelP2C         // A is a provider of B
+)
+
+// String implements fmt.Stringer.
+func (r Rel) String() string {
+	switch r {
+	case RelP2P:
+		return "p2p"
+	case RelC2P:
+		return "c2p"
+	case RelP2C:
+		return "p2c"
+	default:
+		return "unknown"
+	}
+}
+
+// Inference holds the inferred relationship graph.
+type Inference struct {
+	rels map[topology.LinkKey]Rel
+
+	// transitDegree counts the distinct neighbors an AS transits for.
+	transitDegree map[bgp.ASN]int
+
+	customers map[bgp.ASN][]bgp.ASN // provider -> direct customers
+	clique    []bgp.ASN
+}
+
+// Relationship returns the inferred relationship of the pair (a, b),
+// oriented from a's perspective: RelC2P means a is b's customer.
+func (inf *Inference) Relationship(a, b bgp.ASN) Rel {
+	key := topology.MakeLinkKey(a, b)
+	r, ok := inf.rels[key]
+	if !ok {
+		return RelUnknown
+	}
+	if a == key.A {
+		return r
+	}
+	// Flip orientation.
+	switch r {
+	case RelC2P:
+		return RelP2C
+	case RelP2C:
+		return RelC2P
+	default:
+		return r
+	}
+}
+
+// Links returns all inferred links.
+func (inf *Inference) Links() map[topology.LinkKey]Rel {
+	out := make(map[topology.LinkKey]Rel, len(inf.rels))
+	for k, v := range inf.rels {
+		out[k] = v
+	}
+	return out
+}
+
+// Clique returns the inferred transit-free clique.
+func (inf *Inference) Clique() []bgp.ASN {
+	return append([]bgp.ASN(nil), inf.clique...)
+}
+
+// CustomerDegree returns the number of inferred direct customers.
+func (inf *Inference) CustomerDegree(asn bgp.ASN) int {
+	return len(inf.customers[asn])
+}
+
+// IsStub reports whether the AS has no inferred customers (Fig. 7's
+// stub definition).
+func (inf *Inference) IsStub(asn bgp.ASN) bool { return len(inf.customers[asn]) == 0 }
+
+// CustomerCone returns asn plus every AS reachable via inferred p2c
+// edges — the customer cone of [32].
+func (inf *Inference) CustomerCone(asn bgp.ASN) map[bgp.ASN]bool {
+	cone := make(map[bgp.ASN]bool)
+	var walk func(a bgp.ASN)
+	walk = func(a bgp.ASN) {
+		if cone[a] {
+			return
+		}
+		cone[a] = true
+		for _, c := range inf.customers[a] {
+			walk(c)
+		}
+	}
+	walk(asn)
+	return cone
+}
+
+// TransitDegree returns the AS's transit degree.
+func (inf *Inference) TransitDegree(asn bgp.ASN) int { return inf.transitDegree[asn] }
+
+// Infer runs relationship inference over a set of AS paths (each path
+// listed collector-side first, origin last, already loop-free).
+func Infer(paths [][]bgp.ASN) *Inference {
+	inf := &Inference{
+		rels:          make(map[topology.LinkKey]Rel),
+		transitDegree: make(map[bgp.ASN]int),
+		customers:     make(map[bgp.ASN][]bgp.ASN),
+	}
+
+	// Pass 0: adjacency and transit degrees.
+	adjacent := make(map[topology.LinkKey]bool)
+	transitNbrs := make(map[bgp.ASN]map[bgp.ASN]bool)
+	for _, p := range paths {
+		path := dedupAdjacent(p)
+		for i := 0; i+1 < len(path); i++ {
+			adjacent[topology.MakeLinkKey(path[i], path[i+1])] = true
+		}
+		for i := 1; i+1 < len(path); i++ {
+			m := transitNbrs[path[i]]
+			if m == nil {
+				m = make(map[bgp.ASN]bool)
+				transitNbrs[path[i]] = m
+			}
+			m[path[i-1]] = true
+			m[path[i+1]] = true
+		}
+	}
+	for a, nbrs := range transitNbrs {
+		inf.transitDegree[a] = len(nbrs)
+	}
+
+	// Pass 1: clique — greedily grow a mutually-adjacent set from the
+	// highest transit degrees (simplified from [32]'s Bron-Kerbosch).
+	var byDegree []bgp.ASN
+	for a := range inf.transitDegree {
+		byDegree = append(byDegree, a)
+	}
+	sort.Slice(byDegree, func(i, j int) bool {
+		if inf.transitDegree[byDegree[i]] != inf.transitDegree[byDegree[j]] {
+			return inf.transitDegree[byDegree[i]] > inf.transitDegree[byDegree[j]]
+		}
+		return byDegree[i] < byDegree[j]
+	})
+	const cliqueScan = 24
+	for _, cand := range byDegree {
+		if len(inf.clique) >= cliqueScan {
+			break
+		}
+		ok := true
+		for _, member := range inf.clique {
+			if !adjacent[topology.MakeLinkKey(cand, member)] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			inf.clique = append(inf.clique, cand)
+		}
+	}
+	cliqueSet := make(map[bgp.ASN]bool, len(inf.clique))
+	for _, a := range inf.clique {
+		cliqueSet[a] = true
+	}
+
+	// Pass 2: vote c2p orientations around each path's peak.
+	type vote struct{ ab, ba int } // ab: A customer of B
+	votes := make(map[topology.LinkKey]*vote)
+	addVote := func(customer, provider bgp.ASN) {
+		key := topology.MakeLinkKey(customer, provider)
+		v := votes[key]
+		if v == nil {
+			v = &vote{}
+			votes[key] = v
+		}
+		if key.A == customer {
+			v.ab++
+		} else {
+			v.ba++
+		}
+	}
+	for _, p := range paths {
+		path := dedupAdjacent(p)
+		if len(path) < 2 {
+			continue
+		}
+		peak := 0
+		for i := 1; i < len(path); i++ {
+			if cliqueSet[path[i]] && !cliqueSet[path[peak]] {
+				peak = i
+				continue
+			}
+			if cliqueSet[path[peak]] && !cliqueSet[path[i]] {
+				continue
+			}
+			if inf.transitDegree[path[i]] > inf.transitDegree[path[peak]] {
+				peak = i
+			}
+		}
+		// Left of the peak: each hop descends toward the collector, so
+		// path[i] is the provider of path[i+1]... no: collector-side
+		// first means traffic flows origin -> collector; the uphill
+		// direction is origin toward peak. Links right of the peak
+		// (origin side) are customer->provider left-ward.
+		for i := 0; i < peak; i++ {
+			// path[i] is nearer the collector: it heard the route from
+			// path[i+1]; between peak and collector routes flow down,
+			// so path[i] is a customer of path[i+1].
+			addVote(path[i], path[i+1])
+		}
+		for i := peak; i+1 < len(path); i++ {
+			// Origin side: path[i+1] announced to path[i], its provider.
+			addVote(path[i+1], path[i])
+		}
+	}
+
+	// Pass 3: resolve votes. Clique pairs are p2p by construction.
+	for key := range adjacent {
+		if cliqueSet[key.A] && cliqueSet[key.B] {
+			inf.rels[key] = RelP2P
+			continue
+		}
+		v := votes[key]
+		switch {
+		case v == nil:
+			inf.rels[key] = RelUnknown
+		case v.ab > 0 && v.ba > 0:
+			// Conflicting votes: links adjacent to the peak are usually
+			// p2p (the single peer link of a valley-free path).
+			if ratio(v.ab, v.ba) < 2 {
+				inf.rels[key] = RelP2P
+			} else if v.ab > v.ba {
+				inf.rels[key] = RelC2P
+			} else {
+				inf.rels[key] = RelP2C
+			}
+		case v.ab > 0:
+			inf.rels[key] = RelC2P
+		case v.ba > 0:
+			inf.rels[key] = RelP2C
+		}
+	}
+
+	// The peak's left neighbor link is the peer link when both sides
+	// have comparable transit degree; refine single-vote c2p links that
+	// connect two high-degree ASes into p2p.
+	for key, rel := range inf.rels {
+		if rel != RelC2P && rel != RelP2C {
+			continue
+		}
+		da, db := inf.transitDegree[key.A], inf.transitDegree[key.B]
+		if da > 10 && db > 10 && ratio(da, db) < 3 && !cliqueSet[key.A] && !cliqueSet[key.B] {
+			inf.rels[key] = RelP2P
+		}
+	}
+
+	// Customer lists.
+	for key, rel := range inf.rels {
+		switch rel {
+		case RelC2P:
+			inf.customers[key.B] = append(inf.customers[key.B], key.A)
+		case RelP2C:
+			inf.customers[key.A] = append(inf.customers[key.A], key.B)
+		}
+	}
+	for a := range inf.customers {
+		sort.Slice(inf.customers[a], func(i, j int) bool { return inf.customers[a][i] < inf.customers[a][j] })
+	}
+	return inf
+}
+
+func ratio(a, b int) int {
+	if a < b {
+		a, b = b, a
+	}
+	if b == 0 {
+		return 1 << 30
+	}
+	return a / b
+}
+
+func dedupAdjacent(path []bgp.ASN) []bgp.ASN {
+	var out []bgp.ASN
+	for _, a := range path {
+		if len(out) == 0 || out[len(out)-1] != a {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,373 @@
+// Package rib implements routing information bases: route records, the
+// BGP decision process, and the per-peer adjacency RIBs used by route
+// servers, looking glasses and collectors.
+package rib
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"mlpeering/internal/bgp"
+)
+
+// Route is one path toward a prefix as learned from a specific peer.
+type Route struct {
+	Prefix bgp.Prefix
+	Attrs  *bgp.PathAttrs
+
+	// PeerASN and PeerAddr identify the BGP neighbor the route was
+	// learned from (the route server member, the collector feeder, ...).
+	PeerASN  bgp.ASN
+	PeerAddr netip.Addr
+
+	// Learned is when the route was installed.
+	Learned time.Time
+
+	// Best marks the route currently selected by the decision process.
+	Best bool
+}
+
+// OriginASN returns the originating AS of the route's path.
+func (r *Route) OriginASN() (bgp.ASN, bool) {
+	if r.Attrs == nil {
+		return 0, false
+	}
+	return r.Attrs.ASPath.Origin()
+}
+
+// LocalPref returns the route's LOCAL_PREF or the protocol default 100.
+func (r *Route) LocalPref() uint32 {
+	if r.Attrs != nil && r.Attrs.HasLocPref {
+		return r.Attrs.LocalPref
+	}
+	return 100
+}
+
+// Clone returns a deep copy of the route.
+func (r *Route) Clone() *Route {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.Attrs = r.Attrs.Clone()
+	return &out
+}
+
+// String renders the route in a compact single-line form.
+func (r *Route) String() string {
+	path := ""
+	if r.Attrs != nil {
+		path = r.Attrs.ASPath.String()
+	}
+	return fmt.Sprintf("%s via AS%s path [%s]", r.Prefix, r.PeerASN, path)
+}
+
+// Compare implements the BGP decision process, returning a negative
+// value when a is preferred over b, positive when b wins, zero when the
+// tie-break falls through to arrival order:
+//
+//  1. higher LOCAL_PREF
+//  2. shorter AS_PATH
+//  3. lower ORIGIN (IGP < EGP < INCOMPLETE)
+//  4. lower MED (compared across all neighbors, i.e. always-compare-med,
+//     which is how route servers are commonly configured)
+//  5. lower peer address
+func Compare(a, b *Route) int {
+	if lp, lpo := a.LocalPref(), b.LocalPref(); lp != lpo {
+		if lp > lpo {
+			return -1
+		}
+		return 1
+	}
+	al, bl := 0, 0
+	if a.Attrs != nil {
+		al = a.Attrs.ASPath.Len()
+	}
+	if b.Attrs != nil {
+		bl = b.Attrs.ASPath.Len()
+	}
+	if al != bl {
+		if al < bl {
+			return -1
+		}
+		return 1
+	}
+	ao, bo := uint8(0), uint8(0)
+	if a.Attrs != nil {
+		ao = a.Attrs.Origin
+	}
+	if b.Attrs != nil {
+		bo = b.Attrs.Origin
+	}
+	if ao != bo {
+		if ao < bo {
+			return -1
+		}
+		return 1
+	}
+	am, bm := uint32(0), uint32(0)
+	if a.Attrs != nil && a.Attrs.HasMED {
+		am = a.Attrs.MED
+	}
+	if b.Attrs != nil && b.Attrs.HasMED {
+		bm = b.Attrs.MED
+	}
+	if am != bm {
+		if am < bm {
+			return -1
+		}
+		return 1
+	}
+	return a.PeerAddr.Compare(b.PeerAddr)
+}
+
+// Table is a concurrency-safe RIB holding all paths per prefix and
+// maintaining best-path marks. It serves as Adj-RIB-In aggregate for a
+// route server and as the data source behind a looking glass.
+type Table struct {
+	mu     sync.RWMutex
+	routes map[bgp.Prefix][]*Route
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{routes: make(map[bgp.Prefix][]*Route)}
+}
+
+// key identifies the slot a route occupies: one route per (prefix, peer).
+func routeSlot(routes []*Route, peerASN bgp.ASN, peerAddr netip.Addr) int {
+	for i, r := range routes {
+		if r.PeerASN == peerASN && r.PeerAddr == peerAddr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Add installs or replaces the route from (route.PeerASN, route.PeerAddr)
+// for route.Prefix and recomputes the best path.
+func (t *Table) Add(route *Route) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rs := t.routes[route.Prefix]
+	if i := routeSlot(rs, route.PeerASN, route.PeerAddr); i >= 0 {
+		rs[i] = route
+	} else {
+		rs = append(rs, route)
+	}
+	recomputeBest(rs)
+	t.routes[route.Prefix] = rs
+}
+
+// Withdraw removes the route for prefix learned from the given peer.
+// It reports whether a route was actually removed.
+func (t *Table) Withdraw(prefix bgp.Prefix, peerASN bgp.ASN, peerAddr netip.Addr) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rs := t.routes[prefix]
+	i := routeSlot(rs, peerASN, peerAddr)
+	if i < 0 {
+		return false
+	}
+	rs = append(rs[:i], rs[i+1:]...)
+	if len(rs) == 0 {
+		delete(t.routes, prefix)
+	} else {
+		recomputeBest(rs)
+		t.routes[prefix] = rs
+	}
+	return true
+}
+
+// WithdrawPeer removes every route learned from the peer, returning the
+// number of prefixes affected. Used when a member session goes down.
+func (t *Table) WithdrawPeer(peerASN bgp.ASN, peerAddr netip.Addr) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for pfx, rs := range t.routes {
+		i := routeSlot(rs, peerASN, peerAddr)
+		if i < 0 {
+			continue
+		}
+		rs = append(rs[:i], rs[i+1:]...)
+		n++
+		if len(rs) == 0 {
+			delete(t.routes, pfx)
+		} else {
+			recomputeBest(rs)
+			t.routes[pfx] = rs
+		}
+	}
+	return n
+}
+
+func recomputeBest(rs []*Route) {
+	if len(rs) == 0 {
+		return
+	}
+	best := 0
+	for i := 1; i < len(rs); i++ {
+		if Compare(rs[i], rs[best]) < 0 {
+			best = i
+		}
+	}
+	for i, r := range rs {
+		r.Best = i == best
+	}
+}
+
+// Lookup returns all paths for prefix, best first, or nil.
+func (t *Table) Lookup(prefix bgp.Prefix) []*Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rs := t.routes[prefix]
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]*Route, len(rs))
+	copy(out, rs)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Best != out[j].Best {
+			return out[i].Best
+		}
+		return Compare(out[i], out[j]) < 0
+	})
+	return out
+}
+
+// Best returns the selected path for prefix, or nil.
+func (t *Table) Best(prefix bgp.Prefix) *Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.routes[prefix] {
+		if r.Best {
+			return r
+		}
+	}
+	return nil
+}
+
+// LongestMatch returns the best route of the most-specific prefix
+// containing addr, or nil.
+func (t *Table) LongestMatch(addr netip.Addr) *Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var bestPfx bgp.Prefix
+	found := false
+	for pfx := range t.routes {
+		if pfx.Contains(addr) && (!found || pfx.Bits() > bestPfx.Bits()) {
+			bestPfx, found = pfx, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	for _, r := range t.routes[bestPfx] {
+		if r.Best {
+			return r
+		}
+	}
+	return nil
+}
+
+// Prefixes returns all prefixes in deterministic order.
+func (t *Table) Prefixes() []bgp.Prefix {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]bgp.Prefix, 0, len(t.routes))
+	for p := range t.routes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return bgp.ComparePrefixes(out[i], out[j]) < 0 })
+	return out
+}
+
+// PrefixesFrom returns the prefixes advertised by the given peer ASN,
+// in deterministic order. This is the data behind the looking glass
+// command "show ip bgp neighbor <addr> routes".
+func (t *Table) PrefixesFrom(peerASN bgp.ASN) []bgp.Prefix {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []bgp.Prefix
+	for p, rs := range t.routes {
+		for _, r := range rs {
+			if r.PeerASN == peerASN {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return bgp.ComparePrefixes(out[i], out[j]) < 0 })
+	return out
+}
+
+// Peers returns the distinct (ASN, address) pairs present in the table,
+// ordered by ASN then address. This is the data behind "show ip bgp
+// summary".
+func (t *Table) Peers() []struct {
+	ASN  bgp.ASN
+	Addr netip.Addr
+} {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	type pk struct {
+		asn  bgp.ASN
+		addr netip.Addr
+	}
+	seen := make(map[pk]bool)
+	for _, rs := range t.routes {
+		for _, r := range rs {
+			seen[pk{r.PeerASN, r.PeerAddr}] = true
+		}
+	}
+	out := make([]struct {
+		ASN  bgp.ASN
+		Addr netip.Addr
+	}, 0, len(seen))
+	for k := range seen {
+		out = append(out, struct {
+			ASN  bgp.ASN
+			Addr netip.Addr
+		}{k.asn, k.addr})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ASN != out[j].ASN {
+			return out[i].ASN < out[j].ASN
+		}
+		return out[i].Addr.Compare(out[j].Addr) < 0
+	})
+	return out
+}
+
+// Len returns the number of prefixes.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.routes)
+}
+
+// RouteCount returns the total number of paths across all prefixes.
+func (t *Table) RouteCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, rs := range t.routes {
+		n += len(rs)
+	}
+	return n
+}
+
+// Walk calls fn for every (prefix, routes) pair in deterministic prefix
+// order; the routes slice is ordered best-first. fn must not retain the
+// slice. Returning false stops the walk.
+func (t *Table) Walk(fn func(prefix bgp.Prefix, routes []*Route) bool) {
+	for _, pfx := range t.Prefixes() {
+		if !fn(pfx, t.Lookup(pfx)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package rib
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mlpeering/internal/bgp"
+)
+
+func mkRoute(pfx string, peer bgp.ASN, addr string, path ...bgp.ASN) *Route {
+	return &Route{
+		Prefix:   bgp.MustPrefix(pfx),
+		Attrs:    &bgp.PathAttrs{ASPath: bgp.NewASPath(path...), NextHop: netip.MustParseAddr(addr)},
+		PeerASN:  peer,
+		PeerAddr: netip.MustParseAddr(addr),
+		Learned:  time.Unix(1368000000, 0),
+	}
+}
+
+func TestRouteAccessors(t *testing.T) {
+	r := mkRoute("10.0.0.0/8", 1, "192.0.2.1", 1, 2, 3)
+	if o, ok := r.OriginASN(); !ok || o != 3 {
+		t.Fatalf("OriginASN = %v, %v", o, ok)
+	}
+	if r.LocalPref() != 100 {
+		t.Fatalf("default LocalPref = %d", r.LocalPref())
+	}
+	r.Attrs.HasLocPref = true
+	r.Attrs.LocalPref = 250
+	if r.LocalPref() != 250 {
+		t.Fatal("explicit LocalPref ignored")
+	}
+	var nilAttr Route
+	if _, ok := nilAttr.OriginASN(); ok {
+		t.Fatal("nil attrs origin")
+	}
+}
+
+func TestCompareDecisionProcess(t *testing.T) {
+	base := func() *Route { return mkRoute("10.0.0.0/8", 1, "192.0.2.1", 1, 2) }
+
+	// Higher local pref wins.
+	a, b := base(), base()
+	a.Attrs.HasLocPref, a.Attrs.LocalPref = true, 200
+	if Compare(a, b) >= 0 {
+		t.Fatal("local pref")
+	}
+
+	// Shorter path wins.
+	a, b = base(), mkRoute("10.0.0.0/8", 2, "192.0.2.2", 2, 3, 4)
+	if Compare(a, b) >= 0 {
+		t.Fatal("path length")
+	}
+
+	// Lower origin wins.
+	a, b = base(), base()
+	b.Attrs.Origin = bgp.OriginIncomplete
+	if Compare(a, b) >= 0 {
+		t.Fatal("origin")
+	}
+
+	// Lower MED wins.
+	a, b = base(), base()
+	a.Attrs.HasMED, a.Attrs.MED = true, 5
+	b.Attrs.HasMED, b.Attrs.MED = true, 10
+	if Compare(a, b) >= 0 {
+		t.Fatal("med")
+	}
+
+	// Lower peer address is the final tiebreak.
+	a, b = mkRoute("10.0.0.0/8", 1, "192.0.2.1", 1, 2), mkRoute("10.0.0.0/8", 2, "192.0.2.9", 3, 4)
+	if Compare(a, b) >= 0 || Compare(b, a) <= 0 {
+		t.Fatal("peer address tiebreak")
+	}
+	if Compare(a, a) != 0 {
+		t.Fatal("self compare")
+	}
+}
+
+func TestTableAddBestWithdraw(t *testing.T) {
+	tbl := NewTable()
+	pfx := bgp.MustPrefix("193.0.0.0/21")
+
+	r1 := mkRoute("193.0.0.0/21", 100, "192.0.2.1", 100, 50)
+	r2 := mkRoute("193.0.0.0/21", 200, "192.0.2.2", 200, 60, 50)
+	tbl.Add(r1)
+	tbl.Add(r2)
+
+	if tbl.Len() != 1 || tbl.RouteCount() != 2 {
+		t.Fatalf("Len=%d RouteCount=%d", tbl.Len(), tbl.RouteCount())
+	}
+	best := tbl.Best(pfx)
+	if best == nil || best.PeerASN != 100 {
+		t.Fatalf("best = %+v", best)
+	}
+	all := tbl.Lookup(pfx)
+	if len(all) != 2 || !all[0].Best || all[0].PeerASN != 100 {
+		t.Fatalf("lookup order: %v", all)
+	}
+
+	// Replacing a route from the same peer does not duplicate.
+	r1b := mkRoute("193.0.0.0/21", 100, "192.0.2.1", 100, 70, 60, 50)
+	tbl.Add(r1b)
+	if tbl.RouteCount() != 2 {
+		t.Fatalf("replace duplicated: %d", tbl.RouteCount())
+	}
+	// Now peer 200 has the shorter path and becomes best.
+	if best := tbl.Best(pfx); best.PeerASN != 200 {
+		t.Fatalf("best after replace = %+v", best)
+	}
+
+	if !tbl.Withdraw(pfx, 200, netip.MustParseAddr("192.0.2.2")) {
+		t.Fatal("withdraw failed")
+	}
+	if best := tbl.Best(pfx); best.PeerASN != 100 {
+		t.Fatal("best not recomputed after withdraw")
+	}
+	if tbl.Withdraw(pfx, 999, netip.MustParseAddr("192.0.2.9")) {
+		t.Fatal("withdraw of unknown peer must report false")
+	}
+	tbl.Withdraw(pfx, 100, netip.MustParseAddr("192.0.2.1"))
+	if tbl.Len() != 0 || tbl.Best(pfx) != nil {
+		t.Fatal("table not empty after final withdraw")
+	}
+}
+
+func TestTableWithdrawPeer(t *testing.T) {
+	tbl := NewTable()
+	addr := netip.MustParseAddr("192.0.2.5")
+	for i := 0; i < 5; i++ {
+		r := mkRoute("10.0.0.0/8", 500, "192.0.2.5", 500)
+		r.Prefix = bgp.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16)
+		tbl.Add(r)
+	}
+	tbl.Add(mkRoute("10.0.0.0/16", 600, "192.0.2.6", 600)) // same prefix as i=0, different peer
+
+	if n := tbl.WithdrawPeer(500, addr); n != 5 {
+		t.Fatalf("WithdrawPeer = %d", n)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("remaining prefixes = %d", tbl.Len())
+	}
+	if best := tbl.Best(bgp.MustPrefix("10.0.0.0/16")); best == nil || best.PeerASN != 600 {
+		t.Fatalf("surviving route: %+v", best)
+	}
+}
+
+func TestTablePrefixesDeterministic(t *testing.T) {
+	tbl := NewTable()
+	for _, s := range []string{"10.2.0.0/16", "10.1.0.0/16", "10.1.0.0/24", "9.0.0.0/8"} {
+		r := mkRoute(s, 1, "192.0.2.1", 1)
+		tbl.Add(r)
+	}
+	got := tbl.Prefixes()
+	want := []string{"9.0.0.0/8", "10.1.0.0/16", "10.1.0.0/24", "10.2.0.0/16"}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Fatalf("order: %v", got)
+		}
+	}
+}
+
+func TestTablePrefixesFromAndPeers(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(mkRoute("10.0.0.0/8", 100, "192.0.2.1", 100))
+	tbl.Add(mkRoute("10.1.0.0/16", 100, "192.0.2.1", 100))
+	tbl.Add(mkRoute("10.0.0.0/8", 200, "192.0.2.2", 200))
+
+	from := tbl.PrefixesFrom(100)
+	if len(from) != 2 {
+		t.Fatalf("PrefixesFrom = %v", from)
+	}
+	peers := tbl.Peers()
+	if len(peers) != 2 || peers[0].ASN != 100 || peers[1].ASN != 200 {
+		t.Fatalf("Peers = %v", peers)
+	}
+}
+
+func TestLongestMatch(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(mkRoute("10.0.0.0/8", 1, "192.0.2.1", 1))
+	tbl.Add(mkRoute("10.1.0.0/16", 2, "192.0.2.2", 2))
+
+	r := tbl.LongestMatch(netip.MustParseAddr("10.1.2.3"))
+	if r == nil || r.PeerASN != 2 {
+		t.Fatalf("LongestMatch = %+v", r)
+	}
+	r = tbl.LongestMatch(netip.MustParseAddr("10.9.2.3"))
+	if r == nil || r.PeerASN != 1 {
+		t.Fatalf("LongestMatch fallback = %+v", r)
+	}
+	if tbl.LongestMatch(netip.MustParseAddr("11.0.0.1")) != nil {
+		t.Fatal("LongestMatch false positive")
+	}
+}
+
+func TestWalkStops(t *testing.T) {
+	tbl := NewTable()
+	for i := 0; i < 10; i++ {
+		r := mkRoute("10.0.0.0/8", 1, "192.0.2.1", 1)
+		r.Prefix = bgp.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16)
+		tbl.Add(r)
+	}
+	n := 0
+	tbl.Walk(func(bgp.Prefix, []*Route) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("walk visited %d", n)
+	}
+}
+
+func TestBestInvariantProperty(t *testing.T) {
+	// Property: after any sequence of adds, exactly one route per prefix
+	// is marked best, and no other route would beat it under Compare.
+	f := func(peers []uint16, lprefs []uint8) bool {
+		if len(peers) == 0 {
+			return true
+		}
+		tbl := NewTable()
+		pfx := bgp.MustPrefix("203.0.113.0/24")
+		for i, p := range peers {
+			addr := netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)})
+			r := &Route{
+				Prefix:   pfx,
+				Attrs:    &bgp.PathAttrs{ASPath: bgp.NewASPath(bgp.ASN(p) + 1)},
+				PeerASN:  bgp.ASN(p) + 1,
+				PeerAddr: addr,
+			}
+			if i < len(lprefs) {
+				r.Attrs.HasLocPref = true
+				r.Attrs.LocalPref = uint32(lprefs[i])
+			}
+			tbl.Add(r)
+		}
+		routes := tbl.Lookup(pfx)
+		bestCount := 0
+		var best *Route
+		for _, r := range routes {
+			if r.Best {
+				bestCount++
+				best = r
+			}
+		}
+		if bestCount != 1 {
+			return false
+		}
+		for _, r := range routes {
+			if r != best && Compare(r, best) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentTableAccess(t *testing.T) {
+	tbl := NewTable()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			r := mkRoute("10.0.0.0/8", bgp.ASN(i%7+1), "192.0.2.1", bgp.ASN(i%7+1))
+			r.PeerAddr = netip.AddrFrom4([4]byte{192, 0, 2, byte(i%7 + 1)})
+			tbl.Add(r)
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		tbl.Lookup(bgp.MustPrefix("10.0.0.0/8"))
+		tbl.Prefixes()
+		tbl.RouteCount()
+	}
+	<-done
+}

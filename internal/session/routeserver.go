@@ -1,0 +1,247 @@
+package session
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/ixp"
+	"mlpeering/internal/rib"
+)
+
+// RouteServer is a live multilateral-peering route server: it accepts
+// member BGP sessions over TCP and reflects announcements between them,
+// honouring the export filters encoded in the route-server communities
+// of each announcement (§3). It is transparent: it neither prepends its
+// ASN nor (by default) strips communities.
+type RouteServer struct {
+	Scheme ixp.Scheme
+	Config Config
+	// StripCommunities enables Netnod-style community removal.
+	StripCommunities bool
+	// Logf, when set, receives connection lifecycle messages.
+	Logf func(format string, args ...interface{})
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	members map[bgp.ASN]*memberState
+	table   *rib.Table // the server's RIB: one route per (prefix, member)
+	wg      sync.WaitGroup
+}
+
+type memberState struct {
+	session *Session
+	addr    netip.Addr
+	// routes: prefix -> last announcement, for replay to late joiners
+	// and for withdrawals on disconnect.
+	routes map[bgp.Prefix]*bgp.Update
+}
+
+// NewRouteServer returns a route server for the given scheme.
+func NewRouteServer(scheme ixp.Scheme, routerID netip.Addr) *RouteServer {
+	return &RouteServer{
+		Scheme:  scheme,
+		Config:  Config{LocalASN: scheme.RSASN, RouterID: routerID},
+		members: make(map[bgp.ASN]*memberState),
+		table:   rib.NewTable(),
+	}
+}
+
+// Table exposes the server's RIB (the state an IXP looking glass would
+// render).
+func (rs *RouteServer) Table() *rib.Table { return rs.table }
+
+func (rs *RouteServer) logf(format string, args ...interface{}) {
+	if rs.Logf != nil {
+		rs.Logf(format, args...)
+	}
+}
+
+// Serve accepts member sessions on ln until it is closed.
+func (rs *RouteServer) Serve(ln net.Listener) error {
+	rs.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			rs.wg.Wait()
+			return err
+		}
+		rs.wg.Add(1)
+		go func() {
+			defer rs.wg.Done()
+			if err := rs.handle(conn); err != nil {
+				rs.logf("route-server: %v", err)
+			}
+		}()
+	}
+}
+
+// Addr returns the listener address.
+func (rs *RouteServer) Addr() net.Addr {
+	if rs.ln == nil {
+		return nil
+	}
+	return rs.ln.Addr()
+}
+
+// Close stops the listener and all member sessions.
+func (rs *RouteServer) Close() error {
+	var err error
+	if rs.ln != nil {
+		err = rs.ln.Close()
+	}
+	rs.mu.Lock()
+	for _, m := range rs.members {
+		m.session.Close()
+	}
+	rs.mu.Unlock()
+	rs.wg.Wait()
+	return err
+}
+
+func (rs *RouteServer) handle(conn net.Conn) error {
+	sess, err := Establish(conn, rs.Config)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	member := sess.PeerASN()
+	st := &memberState{
+		session: sess,
+		addr:    netip.AddrFrom4([4]byte{172, 31, byte(member >> 8), byte(member)}),
+		routes:  make(map[bgp.Prefix]*bgp.Update),
+	}
+
+	rs.mu.Lock()
+	if old, dup := rs.members[member]; dup {
+		old.session.Close()
+	}
+	rs.members[member] = st
+	// Replay the RIB to the late joiner: every stored route whose
+	// setter's export filter allows the new member.
+	var replay []*bgp.Update
+	rs.table.Walk(func(prefix bgp.Prefix, routes []*rib.Route) bool {
+		for _, r := range routes {
+			if r.PeerASN == member {
+				continue
+			}
+			filter := ixp.FilterFromCommunities(r.Attrs.Communities, rs.Scheme)
+			if !filter.Allows(member) {
+				continue
+			}
+			out := &bgp.Update{Attrs: r.Attrs.Clone(), NLRI: []bgp.Prefix{prefix}}
+			if rs.StripCommunities {
+				out.Attrs.Communities = nil
+			}
+			replay = append(replay, out)
+		}
+		return true
+	})
+	rs.mu.Unlock()
+	for _, u := range replay {
+		if err := sess.SendUpdate(u); err != nil {
+			break
+		}
+	}
+	rs.logf("route-server: member AS%s up (%d routes replayed)", member, len(replay))
+
+	for upd := range sess.Updates() {
+		rs.process(member, st, upd)
+	}
+
+	// Session down: withdraw everything the member announced.
+	rs.mu.Lock()
+	if rs.members[member] == st {
+		delete(rs.members, member)
+	}
+	var prefixes []bgp.Prefix
+	for p := range st.routes {
+		prefixes = append(prefixes, p)
+	}
+	rs.table.WithdrawPeer(member, st.addr)
+	peers := rs.peersLocked()
+	rs.mu.Unlock()
+	if len(prefixes) > 0 {
+		w := &bgp.Update{Withdrawn: prefixes}
+		for _, p := range peers {
+			_ = p.session.SendUpdate(w)
+		}
+	}
+	rs.logf("route-server: member AS%s down (%d prefixes withdrawn)", member, len(prefixes))
+	return sess.Err()
+}
+
+func (rs *RouteServer) peersLocked() []*memberState {
+	out := make([]*memberState, 0, len(rs.members))
+	for _, m := range rs.members {
+		out = append(out, m)
+	}
+	return out
+}
+
+// process reflects one member announcement to the members its filter
+// allows (and propagates withdrawals to everyone).
+func (rs *RouteServer) process(from bgp.ASN, st *memberState, upd *bgp.Update) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+
+	if len(upd.Withdrawn) > 0 {
+		for _, p := range upd.Withdrawn {
+			delete(st.routes, p)
+			rs.table.Withdraw(p, from, st.addr)
+		}
+		w := &bgp.Update{Withdrawn: upd.Withdrawn}
+		for asn, peer := range rs.members {
+			if asn == from {
+				continue
+			}
+			_ = peer.session.SendUpdate(w)
+		}
+	}
+	if len(upd.NLRI) == 0 || upd.Attrs == nil {
+		return
+	}
+	for _, p := range upd.NLRI {
+		st.routes[p] = upd
+		rs.table.Add(&rib.Route{
+			Prefix:   p,
+			Attrs:    upd.Attrs.Clone(),
+			PeerASN:  from,
+			PeerAddr: st.addr,
+			Learned:  time.Now(),
+		})
+	}
+
+	filter := ixp.FilterFromCommunities(upd.Attrs.Communities, rs.Scheme)
+	out := &bgp.Update{Attrs: upd.Attrs.Clone(), NLRI: upd.NLRI}
+	if rs.StripCommunities {
+		out.Attrs.Communities = nil
+	}
+	for asn, peer := range rs.members {
+		if asn == from || !filter.Allows(asn) {
+			continue
+		}
+		if err := peer.session.SendUpdate(out); err != nil {
+			rs.logf("route-server: reflect to AS%s: %v", asn, err)
+		}
+	}
+}
+
+// Dial connects a member to a route server address and establishes the
+// BGP session.
+func Dial(addr string, cfg Config) (*Session, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("session: dialing %s: %w", addr, err)
+	}
+	sess, err := Establish(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return sess, nil
+}

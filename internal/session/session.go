@@ -1,0 +1,220 @@
+// Package session implements a minimal BGP-4 speaker over net.Conn —
+// OPEN negotiation with the 4-octet-AS capability, KEEPALIVE scheduling,
+// hold-time enforcement and UPDATE exchange — plus a live route server
+// that reflects member announcements subject to the community-encoded
+// export filters of §3. It demonstrates the protocol path end to end
+// over real TCP sockets; the bulk experiments use the propagation
+// engine instead for scale.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"mlpeering/internal/bgp"
+)
+
+// Config parameterizes a speaker.
+type Config struct {
+	LocalASN bgp.ASN
+	RouterID netip.Addr
+	// HoldTime defaults to 90s; keepalives go out every HoldTime/3.
+	HoldTime time.Duration
+}
+
+func (c Config) holdTime() time.Duration {
+	if c.HoldTime <= 0 {
+		return 90 * time.Second
+	}
+	return c.HoldTime
+}
+
+// Session is an established BGP session.
+type Session struct {
+	conn     net.Conn
+	cfg      Config
+	peerOpen *bgp.Open
+	hold     time.Duration // negotiated: min of both sides' hold times
+
+	mu       sync.Mutex
+	closed   bool
+	lastSend time.Time
+
+	updates chan *bgp.Update
+	errCh   chan error
+	done    chan struct{}
+}
+
+// PeerASN returns the negotiated peer AS.
+func (s *Session) PeerASN() bgp.ASN { return s.peerOpen.ASN }
+
+// Establish performs the OPEN/KEEPALIVE handshake on conn and starts
+// the receive and keepalive loops.
+func Establish(conn net.Conn, cfg Config) (*Session, error) {
+	open := &bgp.Open{
+		ASN:      cfg.LocalASN,
+		HoldTime: uint16(cfg.holdTime() / time.Second),
+		RouterID: cfg.RouterID,
+		AS4:      true,
+	}
+	// Send and receive OPEN concurrently: both sides of a BGP session
+	// transmit their OPEN first, and fully synchronous transports
+	// (net.Pipe) would deadlock on sequential write-then-read.
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- bgp.WriteMessage(conn, open) }()
+	msg, err := bgp.ReadMessage(conn, true)
+	if err != nil {
+		return nil, fmt.Errorf("session: awaiting OPEN: %w", err)
+	}
+	if err := <-sendErr; err != nil {
+		return nil, fmt.Errorf("session: sending OPEN: %w", err)
+	}
+	peerOpen, ok := msg.(*bgp.Open)
+	if !ok {
+		return nil, fmt.Errorf("session: expected OPEN, got type %d", msg.Type())
+	}
+	if !peerOpen.AS4 {
+		return nil, errors.New("session: peer lacks 4-octet AS capability")
+	}
+
+	hold := cfg.holdTime()
+	if peerHold := time.Duration(peerOpen.HoldTime) * time.Second; peerHold > 0 && peerHold < hold {
+		hold = peerHold // RFC 4271 §4.2: use the smaller hold time
+	}
+	s := &Session{
+		conn:     conn,
+		cfg:      cfg,
+		peerOpen: peerOpen,
+		hold:     hold,
+		updates:  make(chan *bgp.Update, 64),
+		errCh:    make(chan error, 1),
+		done:     make(chan struct{}),
+		lastSend: time.Now(),
+	}
+	go s.readLoop()
+	go s.keepaliveLoop()
+	// Confirm the OPEN with a KEEPALIVE. The read loop is already
+	// running, so the peer's confirmation cannot deadlock us even on a
+	// synchronous transport.
+	if err := s.write(bgp.Keepalive{}); err != nil {
+		s.shutdown()
+		return nil, fmt.Errorf("session: confirming OPEN: %w", err)
+	}
+	return s, nil
+}
+
+func (s *Session) readLoop() {
+	defer close(s.updates)
+	hold := s.hold
+	for {
+		if err := s.conn.SetReadDeadline(time.Now().Add(hold)); err != nil {
+			s.fail(err)
+			return
+		}
+		msg, err := bgp.ReadMessage(s.conn, true)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		switch m := msg.(type) {
+		case *bgp.Update:
+			select {
+			case s.updates <- m:
+			case <-s.done:
+				return
+			}
+		case bgp.Keepalive:
+			// refreshes the read deadline implicitly
+		case *bgp.Notification:
+			s.fail(fmt.Errorf("session: peer sent NOTIFICATION %d/%d", m.Code, m.Subcode))
+			return
+		default:
+			s.fail(fmt.Errorf("session: unexpected message type %d", msg.Type()))
+			return
+		}
+	}
+}
+
+func (s *Session) keepaliveLoop() {
+	interval := s.hold / 3
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.mu.Lock()
+			idle := time.Since(s.lastSend) >= interval/2
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			if idle {
+				if err := s.write(bgp.Keepalive{}); err != nil {
+					s.fail(err)
+					return
+				}
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *Session) write(m bgp.Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("session: closed")
+	}
+	s.lastSend = time.Now()
+	return bgp.WriteMessage(s.conn, m)
+}
+
+func (s *Session) fail(err error) {
+	select {
+	case s.errCh <- err:
+	default:
+	}
+	s.shutdown()
+}
+
+func (s *Session) shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.done)
+	s.mu.Unlock()
+	s.conn.Close()
+}
+
+// SendUpdate transmits an UPDATE.
+func (s *Session) SendUpdate(u *bgp.Update) error { return s.write(u) }
+
+// Updates returns the channel of received UPDATEs; it closes when the
+// session ends.
+func (s *Session) Updates() <-chan *bgp.Update { return s.updates }
+
+// Err returns the first fatal error, if any.
+func (s *Session) Err() error {
+	select {
+	case err := <-s.errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Close sends a cease NOTIFICATION and tears the session down.
+func (s *Session) Close() error {
+	_ = s.write(&bgp.Notification{Code: 6}) // cease
+	s.shutdown()
+	return nil
+}

@@ -1,0 +1,280 @@
+package session
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/ixp"
+)
+
+func testUpdate(t *testing.T, origin bgp.ASN, prefix string, comms string) *bgp.Update {
+	t.Helper()
+	cs, err := bgp.ParseCommunities(comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin:      bgp.OriginIGP,
+			ASPath:      bgp.NewASPath(origin),
+			NextHop:     netip.MustParseAddr("172.16.0.9"),
+			Communities: cs,
+		},
+		NLRI: []bgp.Prefix{bgp.MustPrefix(prefix)},
+	}
+}
+
+func dialMember(t *testing.T, addr string, asn bgp.ASN) *Session {
+	t.Helper()
+	s, err := Dial(addr, Config{
+		LocalASN: asn,
+		RouterID: netip.AddrFrom4([4]byte{10, 0, byte(asn >> 8), byte(asn)}),
+		HoldTime: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func startRS(t *testing.T) (*RouteServer, string) {
+	t.Helper()
+	rs := NewRouteServer(ixp.StandardScheme(6695), netip.MustParseAddr("172.16.0.1"))
+	rs.Config.HoldTime = 5 * time.Second
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rs.Serve(ln)
+	t.Cleanup(func() { rs.Close() })
+	return rs, ln.Addr().String()
+}
+
+func recvUpdate(t *testing.T, s *Session) *bgp.Update {
+	t.Helper()
+	select {
+	case u, ok := <-s.Updates():
+		if !ok {
+			t.Fatalf("session closed early: %v", s.Err())
+		}
+		return u
+	case <-time.After(3 * time.Second):
+		t.Fatal("timeout waiting for update")
+		return nil
+	}
+}
+
+func expectSilence(t *testing.T, s *Session, d time.Duration) {
+	t.Helper()
+	select {
+	case u, ok := <-s.Updates():
+		if ok {
+			t.Fatalf("unexpected update: %+v", u)
+		}
+	case <-time.After(d):
+	}
+}
+
+func TestSessionHandshake(t *testing.T) {
+	a, b := net.Pipe()
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := Establish(a, Config{LocalASN: 64512, RouterID: netip.MustParseAddr("10.0.0.1"), HoldTime: time.Second})
+		ch <- res{s, err}
+	}()
+	s2, err := Establish(b, Config{LocalASN: 196615, RouterID: netip.MustParseAddr("10.0.0.2"), HoldTime: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	defer r.s.Close()
+	if r.s.PeerASN() != 196615 || s2.PeerASN() != 64512 {
+		t.Fatalf("negotiated ASNs: %v / %v", r.s.PeerASN(), s2.PeerASN())
+	}
+}
+
+func TestRouteServerReflectsWithFiltering(t *testing.T) {
+	_, addr := startRS(t)
+
+	m1 := dialMember(t, addr, 100)
+	m2 := dialMember(t, addr, 200)
+	m3 := dialMember(t, addr, 300)
+	time.Sleep(50 * time.Millisecond) // let the RS register all three
+
+	// m1 announces, excluding 300: ALL + EXCLUDE(300).
+	upd := testUpdate(t, 100, "10.1.0.0/16", "6695:6695 0:300")
+	if err := m1.SendUpdate(upd); err != nil {
+		t.Fatal(err)
+	}
+
+	got := recvUpdate(t, m2)
+	if got.NLRI[0] != bgp.MustPrefix("10.1.0.0/16") {
+		t.Fatalf("m2 got %v", got.NLRI)
+	}
+	if o, _ := got.Attrs.ASPath.Origin(); o != 100 {
+		t.Fatalf("m2 path %v", got.Attrs.ASPath)
+	}
+	// Transparent RS: communities intact, RS ASN absent from path.
+	if !got.Attrs.Communities.Contains(bgp.MakeCommunity(6695, 6695)) {
+		t.Fatalf("communities stripped: %v", got.Attrs.Communities)
+	}
+	if got.Attrs.ASPath.Contains(6695) {
+		t.Fatal("RS ASN in path")
+	}
+
+	expectSilence(t, m3, 300*time.Millisecond)
+}
+
+func TestRouteServerNoneInclude(t *testing.T) {
+	_, addr := startRS(t)
+	m1 := dialMember(t, addr, 100)
+	m2 := dialMember(t, addr, 200)
+	m3 := dialMember(t, addr, 300)
+	time.Sleep(50 * time.Millisecond)
+
+	// NONE + INCLUDE(300): only m3 receives.
+	if err := m1.SendUpdate(testUpdate(t, 100, "10.2.0.0/16", "0:6695 6695:300")); err != nil {
+		t.Fatal(err)
+	}
+	got := recvUpdate(t, m3)
+	if got.NLRI[0] != bgp.MustPrefix("10.2.0.0/16") {
+		t.Fatalf("m3 got %v", got.NLRI)
+	}
+	expectSilence(t, m2, 300*time.Millisecond)
+}
+
+func TestRouteServerWithdrawOnDisconnect(t *testing.T) {
+	_, addr := startRS(t)
+	m1 := dialMember(t, addr, 100)
+	m2 := dialMember(t, addr, 200)
+	time.Sleep(50 * time.Millisecond)
+
+	if err := m1.SendUpdate(testUpdate(t, 100, "10.3.0.0/16", "6695:6695")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvUpdate(t, m2); len(got.NLRI) != 1 {
+		t.Fatalf("announce: %+v", got)
+	}
+
+	m1.Close()
+	got := recvUpdate(t, m2)
+	if len(got.Withdrawn) != 1 || got.Withdrawn[0] != bgp.MustPrefix("10.3.0.0/16") {
+		t.Fatalf("withdraw: %+v", got)
+	}
+}
+
+func TestRouteServerExplicitWithdraw(t *testing.T) {
+	_, addr := startRS(t)
+	m1 := dialMember(t, addr, 100)
+	m2 := dialMember(t, addr, 200)
+	time.Sleep(50 * time.Millisecond)
+
+	if err := m1.SendUpdate(testUpdate(t, 100, "10.4.0.0/16", "6695:6695")); err != nil {
+		t.Fatal(err)
+	}
+	recvUpdate(t, m2)
+	if err := m1.SendUpdate(&bgp.Update{Withdrawn: []bgp.Prefix{bgp.MustPrefix("10.4.0.0/16")}}); err != nil {
+		t.Fatal(err)
+	}
+	got := recvUpdate(t, m2)
+	if len(got.Withdrawn) != 1 {
+		t.Fatalf("withdraw not propagated: %+v", got)
+	}
+}
+
+func TestRouteServerStripCommunities(t *testing.T) {
+	rs := NewRouteServer(ixp.StandardScheme(6695), netip.MustParseAddr("172.16.0.1"))
+	rs.Config.HoldTime = 5 * time.Second
+	rs.StripCommunities = true
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rs.Serve(ln)
+	defer rs.Close()
+
+	m1 := dialMember(t, ln.Addr().String(), 100)
+	m2 := dialMember(t, ln.Addr().String(), 200)
+	time.Sleep(50 * time.Millisecond)
+
+	if err := m1.SendUpdate(testUpdate(t, 100, "10.5.0.0/16", "6695:6695 0:300")); err != nil {
+		t.Fatal(err)
+	}
+	got := recvUpdate(t, m2)
+	if len(got.Attrs.Communities) != 0 {
+		t.Fatalf("Netnod-style RS leaked communities: %v", got.Attrs.Communities)
+	}
+}
+
+func TestKeepalivesSustainSession(t *testing.T) {
+	_, addr := startRS(t)
+	// Hold time 1s: without keepalives the session would die well
+	// within the test window.
+	s, err := Dial(addr, Config{LocalASN: 100, RouterID: netip.MustParseAddr("10.0.0.1"), HoldTime: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	time.Sleep(1500 * time.Millisecond)
+	if err := s.Err(); err != nil {
+		t.Fatalf("session died despite keepalives: %v", err)
+	}
+	if err := s.SendUpdate(testUpdate(t, 100, "10.6.0.0/16", "6695:6695")); err != nil {
+		t.Fatalf("session unusable: %v", err)
+	}
+}
+
+func TestRouteServerReplaysRIBToLateJoiner(t *testing.T) {
+	rs, addr := startRS(t)
+	m1 := dialMember(t, addr, 100)
+	time.Sleep(50 * time.Millisecond)
+
+	// m1 announces two prefixes before anyone else is connected: one
+	// open, one excluding the future member 200.
+	if err := m1.SendUpdate(testUpdate(t, 100, "10.7.0.0/16", "6695:6695")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.SendUpdate(testUpdate(t, 100, "10.8.0.0/16", "6695:6695 0:200")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if rs.Table().Len() != 2 {
+		t.Fatalf("RS table has %d prefixes", rs.Table().Len())
+	}
+
+	// A late joiner receives only the route whose filter allows it.
+	m2 := dialMember(t, addr, 200)
+	got := recvUpdate(t, m2)
+	if got.NLRI[0] != bgp.MustPrefix("10.7.0.0/16") {
+		t.Fatalf("replayed %v", got.NLRI)
+	}
+	expectSilence(t, m2, 300*time.Millisecond)
+
+	// Member 300 is not excluded and gets both on join.
+	m3 := dialMember(t, addr, 300)
+	first := recvUpdate(t, m3)
+	second := recvUpdate(t, m3)
+	seen := map[string]bool{first.NLRI[0].String(): true, second.NLRI[0].String(): true}
+	if !seen["10.7.0.0/16"] || !seen["10.8.0.0/16"] {
+		t.Fatalf("replayed set: %v", seen)
+	}
+
+	// Disconnecting m1 clears the table.
+	m1.Close()
+	time.Sleep(200 * time.Millisecond)
+	if rs.Table().Len() != 0 {
+		t.Fatalf("table not cleared: %d", rs.Table().Len())
+	}
+}

@@ -1,0 +1,61 @@
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/ixp"
+)
+
+// MemberCommunities returns the exact community set member attaches to
+// its announcements toward the named route server: the encoding of its
+// ground-truth export filter under the IXP's scheme, with the ALL value
+// omitted for operators that rely on the default.
+func (t *Topology) MemberCommunities(ixpName string, member bgp.ASN) (bgp.Communities, bool) {
+	m, ok := t.MemberComms[ixpName]
+	if !ok {
+		return nil, false
+	}
+	cs, ok := m[member]
+	return cs, ok
+}
+
+// finalizeMemberData encodes every member's filter communities (fixing
+// the scheme's 32-bit alias table deterministically) and assigns IXP
+// LAN addresses. Called as the last generation step.
+func (g *generator) finalizeMemberData() error {
+	g.t.MemberComms = make(map[string]map[bgp.ASN]bgp.Communities, len(g.t.IXPs))
+	for i, info := range g.t.IXPs {
+		// LAN 172.(16+i).0.0/16, addresses handed out in member order.
+		if i > 200 {
+			return fmt.Errorf("topology: too many IXPs for LAN numbering")
+		}
+		info.MemberAddrs = make(map[bgp.ASN]netip.Addr, len(info.Members))
+		info.RSAddr = netip.AddrFrom4([4]byte{172, byte(16 + i), 0, 1})
+		for j, m := range info.SortedMembers() {
+			hi := byte(1 + (j+2)/250)
+			lo := byte((j+2)%250 + 1)
+			info.MemberAddrs[m] = netip.AddrFrom4([4]byte{172, byte(16 + i), hi, lo})
+		}
+
+		comms := make(map[bgp.ASN]bgp.Communities, len(info.RSMembers))
+		scheme := &info.Scheme
+		for _, m := range info.SortedRSMembers() {
+			f, ok := g.t.ExportFilter(info.Name, m)
+			if !ok {
+				return fmt.Errorf("topology: %s member %s missing filter during finalize", info.Name, m)
+			}
+			cs, err := f.Communities(scheme)
+			if err != nil {
+				return fmt.Errorf("topology: encoding %s filter for %s: %w", info.Name, m, err)
+			}
+			if g.t.ASes[m].OmitsDefaultALL && f.Mode == ixp.ModeAllExcept {
+				cs = ixp.OmitDefault(cs, *scheme)
+			}
+			comms[m] = cs
+		}
+		g.t.MemberComms[info.Name] = comms
+	}
+	return nil
+}

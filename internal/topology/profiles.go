@@ -1,0 +1,205 @@
+package topology
+
+import (
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/ixp"
+)
+
+// SchemeStyle selects the community encoding convention an IXP uses.
+type SchemeStyle int
+
+// Scheme styles (§3, Table 1).
+const (
+	// StyleStandard: DE-CIX-like, RS ASN embedded in most values.
+	StyleStandard SchemeStyle = iota
+	// StylePrivateRange: ECIX-like, actions encoded in the private ASN
+	// range; only ALL reveals the IXP.
+	StylePrivateRange
+)
+
+// IXPProfile parameterizes one IXP in the generated world. The shipped
+// profiles mirror Table 2 of the paper.
+type IXPProfile struct {
+	Name      string
+	RSASN     bgp.ASN
+	Region    ixp.Region
+	Style     SchemeStyle
+	Members   int // "ASes" column of Table 2
+	RSMembers int // "RS" column of Table 2
+
+	// HasLG: the IXP runs a public LG with a route server view that
+	// prints communities (France-IX's does not, hence false for it).
+	HasLG bool
+
+	// PublishesMemberList: RS member list available from the IXP
+	// website or an AS-SET (false for LINX).
+	PublishesMemberList bool
+
+	// RSFeeders is how many RS members (or customers of RS members)
+	// contribute full feeds to public collectors; 0 reproduces IXPs
+	// with no passive visibility (SPB-IX, DTEL-IX, BIX.BG).
+	RSFeeders int
+
+	// PassiveOpenness approximates how open the RS feeders' import
+	// policies are (1.0 = see everything the density allows). Low
+	// values reproduce IXPs like MSK-IX whose passive coverage was
+	// tiny despite having a feeder.
+	PassiveOpenness float64
+
+	// MemberLGs is how many third-party member looking glasses carry a
+	// feed from this route server (used when HasLG is false, and for
+	// validation).
+	MemberLGs int
+
+	// FlatFee drives the peering-density prior used in §5.7.
+	FlatFee bool
+
+	// StripsCommunities marks Netnod-style RSes that remove all
+	// communities (none of the 13 studied IXPs do; kept for the
+	// limitation experiments of §5.8).
+	StripsCommunities bool
+}
+
+// PaperIXPProfiles returns the 13 IXPs of Table 2. RS ASNs for DE-CIX
+// (6695), MSK-IX (8631), ECIX (9033) and LINX (8714) are the paper's;
+// the others are stable synthetic assignments.
+func PaperIXPProfiles() []IXPProfile {
+	return []IXPProfile{
+		{Name: "AMS-IX", RSASN: 6777, Region: ixp.RegionWestEU, Style: StyleStandard,
+			Members: 574, RSMembers: 444, HasLG: false, PublishesMemberList: true,
+			RSFeeders: 3, PassiveOpenness: 0.78, MemberLGs: 3, FlatFee: true},
+		{Name: "DE-CIX", RSASN: 6695, Region: ixp.RegionWestEU, Style: StyleStandard,
+			Members: 483, RSMembers: 369, HasLG: true, PublishesMemberList: true,
+			RSFeeders: 1, PassiveOpenness: 0.36, MemberLGs: 2, FlatFee: true},
+		{Name: "LINX", RSASN: 8714, Region: ixp.RegionWestEU, Style: StyleStandard,
+			Members: 457, RSMembers: 230, HasLG: false, PublishesMemberList: false,
+			RSFeeders: 2, PassiveOpenness: 0.85, MemberLGs: 2, FlatFee: true},
+		{Name: "MSK-IX", RSASN: 8631, Region: ixp.RegionEastEU, Style: StyleStandard,
+			Members: 374, RSMembers: 348, HasLG: true, PublishesMemberList: true,
+			RSFeeders: 1, PassiveOpenness: 0.08, MemberLGs: 2, FlatFee: false},
+		{Name: "PLIX", RSASN: 48850, Region: ixp.RegionEastEU, Style: StyleStandard,
+			Members: 222, RSMembers: 211, HasLG: true, PublishesMemberList: true,
+			RSFeeders: 1, PassiveOpenness: 0.20, MemberLGs: 1, FlatFee: true},
+		{Name: "France-IX", RSASN: 51706, Region: ixp.RegionWestEU, Style: StyleStandard,
+			Members: 193, RSMembers: 169, HasLG: false, PublishesMemberList: true,
+			RSFeeders: 2, PassiveOpenness: 0.70, MemberLGs: 1, FlatFee: true},
+		{Name: "LONAP", RSASN: 8550, Region: ixp.RegionWestEU, Style: StyleStandard,
+			Members: 120, RSMembers: 109, HasLG: false, PublishesMemberList: true,
+			RSFeeders: 1, PassiveOpenness: 0.32, MemberLGs: 2, FlatFee: true},
+		{Name: "ECIX", RSASN: 9033, Region: ixp.RegionWestEU, Style: StylePrivateRange,
+			Members: 102, RSMembers: 83, HasLG: true, PublishesMemberList: true,
+			RSFeeders: 1, PassiveOpenness: 0.45, MemberLGs: 1, FlatFee: true},
+		{Name: "SPB-IX", RSASN: 43690, Region: ixp.RegionEastEU, Style: StyleStandard,
+			Members: 89, RSMembers: 78, HasLG: true, PublishesMemberList: true,
+			RSFeeders: 0, PassiveOpenness: 0, MemberLGs: 1, FlatFee: false},
+		{Name: "DTEL-IX", RSASN: 31210, Region: ixp.RegionEastEU, Style: StyleStandard,
+			Members: 74, RSMembers: 71, HasLG: true, PublishesMemberList: true,
+			RSFeeders: 0, PassiveOpenness: 0, MemberLGs: 1, FlatFee: true},
+		{Name: "TOP-IX", RSASN: 16004, Region: ixp.RegionSouthEU, Style: StyleStandard,
+			Members: 71, RSMembers: 52, HasLG: true, PublishesMemberList: true,
+			RSFeeders: 1, PassiveOpenness: 0.40, MemberLGs: 1, FlatFee: true},
+		{Name: "STHIX", RSASN: 35787, Region: ixp.RegionNorthEU, Style: StyleStandard,
+			Members: 69, RSMembers: 42, HasLG: false, PublishesMemberList: true,
+			RSFeeders: 1, PassiveOpenness: 0.10, MemberLGs: 1, FlatFee: true},
+		{Name: "BIX.BG", RSASN: 57463, Region: ixp.RegionEastEU, Style: StyleStandard,
+			Members: 53, RSMembers: 52, HasLG: true, PublishesMemberList: true,
+			RSFeeders: 0, PassiveOpenness: 0, MemberLGs: 1, FlatFee: true},
+	}
+}
+
+// Config parameterizes generation.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical worlds.
+	Seed int64
+
+	// Scale multiplies IXP membership counts and the AS pool. 1.0 is
+	// paper scale (~1,700 distinct IXP members); tests use ~0.15.
+	Scale float64
+
+	// NumASes is the total AS pool; 0 derives it from Scale.
+	NumASes int
+
+	// NumTier1 is the size of the transit-free clique.
+	NumTier1 int
+
+	// TransitFrac is the fraction of non-tier-1 ASes that provide
+	// transit (tier 2).
+	TransitFrac float64
+
+	// NumContent is the number of large content networks.
+	NumContent int
+
+	// Profiles lists the IXPs to instantiate; nil means the paper's 13.
+	Profiles []IXPProfile
+
+	// RegisteredFrac is the fraction of IXP members with a PeeringDB
+	// record (904/1667 in the paper).
+	RegisteredFrac float64
+
+	// StripProb is the per-AS probability of stripping communities on
+	// export, limiting passive visibility.
+	StripProb float64
+
+	// ValidationLGs is the number of third-party LGs used by the
+	// validation engine (70 in the paper).
+	ValidationLGs int
+
+	// BestPathLGFrac is the fraction of validation LGs that display
+	// only the active path (Fig. 8's triangles).
+	BestPathLGFrac float64
+
+	// PrefersBilateralFrac is the fraction of validation-LG ASes whose
+	// routers prefer bilateral peers over RS peers (14/70 in §5.1).
+	PrefersBilateralFrac float64
+
+	// BilateralExtraFeeders adds non-RS transit feeders to collectors,
+	// building out the public view.
+	ExtraFeeders int
+
+	// MeanPrefixesStub / MeanPrefixesTransit control prefix counts.
+	MeanPrefixesStub, MeanPrefixesTransit int
+
+	// IRRRegistrationFrac is the probability an RS member registers an
+	// accurate aut-num/as-set in the IRR (drives LINX-style discovery
+	// and §4.4 reciprocity validation).
+	IRRRegistrationFrac float64
+}
+
+// DefaultConfig is full paper scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 20130501,
+		Scale:                1.0,
+		NumTier1:             12,
+		TransitFrac:          0.16,
+		NumContent:           12,
+		RegisteredFrac:       0.54,
+		StripProb:            0.65,
+		ValidationLGs:        70,
+		BestPathLGFrac:       0.20,
+		PrefersBilateralFrac: 0.20,
+		ExtraFeeders:         30,
+		MeanPrefixesStub:     2,
+		MeanPrefixesTransit:  6,
+		IRRRegistrationFrac:  0.77,
+	}
+}
+
+// TestConfig is a small world for unit tests and quick benchmarks.
+func TestConfig() Config {
+	c := DefaultConfig()
+	c.Scale = 0.12
+	c.ValidationLGs = 16
+	c.ExtraFeeders = 8
+	return c
+}
+
+// scaled returns n scaled by the config's Scale, minimum 1 (minimum 4
+// for membership counts so that filters stay meaningful).
+func (c Config) scaled(n int) int {
+	v := int(float64(n)*c.Scale + 0.5)
+	if v < 4 {
+		v = 4
+	}
+	return v
+}
