@@ -1,0 +1,3 @@
+module mlpeering
+
+go 1.24

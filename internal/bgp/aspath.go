@@ -236,6 +236,20 @@ func ParseASPath(s string) (ASPath, error) {
 	return path, nil
 }
 
+// wireLen returns the serialized length of the path without encoding
+// it, so callers can emit the attribute header before the body.
+func (p ASPath) wireLen(as4 bool) int {
+	size := 2
+	if as4 {
+		size = 4
+	}
+	n := 0
+	for _, seg := range p {
+		n += 2 + size*len(seg.ASNs)
+	}
+	return n
+}
+
 // appendWire serializes the path. If as4 is true ASNs are encoded as 4
 // octets (RFC 6793), otherwise as 2 octets with 32-bit ASNs replaced by
 // AS_TRANS.

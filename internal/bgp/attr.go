@@ -101,9 +101,8 @@ func (a *PathAttrs) AppendWire(dst []byte, as4 bool) ([]byte, error) {
 	dst = append(dst, a.Origin)
 
 	// AS_PATH (well-known mandatory)
-	body := a.ASPath.appendWire(nil, as4)
-	dst = appendAttrHeader(dst, flagTransitive, AttrASPath, len(body))
-	dst = append(dst, body...)
+	dst = appendAttrHeader(dst, flagTransitive, AttrASPath, a.ASPath.wireLen(as4))
+	dst = a.ASPath.appendWire(dst, as4)
 
 	// NEXT_HOP (well-known mandatory for IPv4 unicast)
 	if a.NextHop.IsValid() {
@@ -124,19 +123,22 @@ func (a *PathAttrs) AppendWire(dst []byte, as4 bool) ([]byte, error) {
 		dst = appendAttrHeader(dst, flagTransitive, AttrAtomicAggregate, 0)
 	}
 	if a.Aggregator != nil {
-		var body []byte
+		addr := a.Aggregator.Addr.AsSlice()
+		asnLen := 2
 		if as4 {
-			body = append(body, byte(a.Aggregator.ASN>>24), byte(a.Aggregator.ASN>>16), byte(a.Aggregator.ASN>>8), byte(a.Aggregator.ASN))
+			asnLen = 4
+		}
+		dst = appendAttrHeader(dst, flagOptional|flagTransitive, AttrAggregator, asnLen+len(addr))
+		if as4 {
+			dst = append(dst, byte(a.Aggregator.ASN>>24), byte(a.Aggregator.ASN>>16), byte(a.Aggregator.ASN>>8), byte(a.Aggregator.ASN))
 		} else {
 			asn := a.Aggregator.ASN
 			if asn.Is32Bit() {
 				asn = ASTrans
 			}
-			body = append(body, byte(asn>>8), byte(asn))
+			dst = append(dst, byte(asn>>8), byte(asn))
 		}
-		body = append(body, a.Aggregator.Addr.AsSlice()...)
-		dst = appendAttrHeader(dst, flagOptional|flagTransitive, AttrAggregator, len(body))
-		dst = append(dst, body...)
+		dst = append(dst, addr...)
 	}
 	if len(a.Communities) > 0 {
 		dst = appendAttrHeader(dst, flagOptional|flagTransitive, AttrCommunities, 4*len(a.Communities))

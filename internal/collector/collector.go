@@ -24,7 +24,16 @@ type Collector struct {
 	engine  *propagate.Engine
 	feeders []topology.Feeder
 	addrs   map[bgp.ASN]netip.Addr
+	strips  []bool // per feeder: feeder's own export strips communities
 	workers int
+}
+
+// attrSlot is a reusable per-feeder attribute buffer for RIB dumps: the
+// single-segment AS path points straight at the route's path slice, so
+// building one entry allocates nothing.
+type attrSlot struct {
+	attrs bgp.PathAttrs
+	seg   [1]bgp.PathSegment
 }
 
 // New builds a collector over the engine's topology. If feeders is nil
@@ -43,10 +52,15 @@ func New(name string, engine *propagate.Engine, feeders []topology.Feeder, worke
 		addrs:   make(map[bgp.ASN]netip.Addr, len(feeders)),
 		workers: workers,
 	}
+	c.strips = make([]bool, len(feeders))
+	topo := engine.Topology()
 	for i, f := range feeders {
 		// Feeder session addresses live in 192.0.2.0/24-style space,
 		// expanded to /16 for large feeder sets.
 		c.addrs[f.ASN] = netip.AddrFrom4([4]byte{192, 0, byte(2 + i/250), byte(1 + i%250)})
+		if as := topo.ASes[f.ASN]; as != nil {
+			c.strips[i] = as.StripsCommunities
+		}
 	}
 	return c
 }
@@ -88,6 +102,12 @@ func (c *Collector) WriteRIB(w io.Writer, ts time.Time) error {
 
 	seq := uint32(0)
 	var writeErr error
+	// Entry and attribute buffers are reused across destinations: each
+	// record is marshaled before the next tree is consumed, so the slots
+	// only need to live until WriteRIB returns.
+	entries := make([]mrt.RIBEntry, 0, len(c.feeders))
+	slots := make([]attrSlot, len(c.feeders))
+	var rec mrt.RIBRecord
 	c.engine.ForEachTree(c.workers, func(tr *propagate.Tree) {
 		if writeErr != nil {
 			return
@@ -96,26 +116,38 @@ func (c *Collector) WriteRIB(w io.Writer, ts time.Time) error {
 		if len(dest.Prefixes) == 0 {
 			return
 		}
-		var entries []mrt.RIBEntry
-		for _, f := range c.feeders {
+		entries = entries[:0]
+		for i, f := range c.feeders {
 			route := tr.RouteFrom(f.ASN)
 			if route == nil || !exports(f, route.Class) {
 				continue
 			}
-			attrs := c.routeAttrs(f, route)
+			sl := &slots[len(entries)]
+			sl.seg[0] = bgp.PathSegment{ASNs: route.Path}
+			sl.attrs = bgp.PathAttrs{
+				Origin:  bgp.OriginIGP,
+				ASPath:  sl.seg[:],
+				NextHop: c.addrs[f.ASN],
+			}
+			// The feeder's own export may strip communities; the route's
+			// Communities field already accounts for stripping on
+			// interior hops.
+			if !c.strips[i] {
+				sl.attrs.Communities = route.Communities
+			}
 			entries = append(entries, mrt.RIBEntry{
 				PeerIndex:  peerIndex[f.ASN],
 				Originated: ts,
-				Attrs:      attrs,
+				Attrs:      &sl.attrs,
 			})
 		}
 		if len(entries) == 0 {
 			return
 		}
 		for _, p := range dest.Prefixes {
-			rec := &mrt.RIBRecord{Sequence: seq, Prefix: p, Entries: entries}
+			rec = mrt.RIBRecord{Sequence: seq, Prefix: p, Entries: entries}
 			seq++
-			if err := mw.WriteRIB(ts, rec); err != nil {
+			if err := mw.WriteRIB(ts, &rec); err != nil {
 				writeErr = err
 				return
 			}

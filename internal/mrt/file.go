@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -13,14 +14,32 @@ import (
 // a record header (a cleanly-ended archive returns io.EOF instead).
 var ErrShortHeader = errors.New("mrt: truncated record header")
 
+// bodyPool recycles record-body encode buffers across writers: one dump
+// writes thousands of records, and without reuse every record body is a
+// fresh allocation.
+var bodyPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // Writer writes MRT records to an underlying stream.
 type Writer struct {
 	w   *bufio.Writer
+	buf *[]byte // scratch body buffer, from bodyPool; released on Flush
 	err error
 }
 
 // NewWriter returns a Writer on w.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// body returns the writer's scratch buffer, length zero, fetching one
+// from the pool on first use after construction or Flush.
+func (w *Writer) body() []byte {
+	if w.buf == nil {
+		w.buf = bodyPool.Get().(*[]byte)
+	}
+	return (*w.buf)[:0]
+}
+
+// keepBody stores the (possibly grown) scratch back on the writer.
+func (w *Writer) keepBody(b []byte) { *w.buf = b }
 
 // WriteRecord writes one record with the common MRT header.
 func (w *Writer) WriteRecord(ts time.Time, typ, subtype uint16, body []byte) error {
@@ -47,20 +66,22 @@ func (w *Writer) WriteRecord(ts time.Time, typ, subtype uint16, body []byte) err
 
 // WritePeerIndexTable marshals and writes t.
 func (w *Writer) WritePeerIndexTable(ts time.Time, t *PeerIndexTable) error {
-	body, err := MarshalPeerIndexTable(t)
+	body, err := AppendPeerIndexTable(w.body(), t)
 	if err != nil {
 		return err
 	}
+	w.keepBody(body)
 	return w.WriteRecord(ts, TypeTableDumpV2, SubtypePeerIndexTable, body)
 }
 
 // WriteRIB marshals and writes r, choosing the subtype from the prefix
 // address family.
 func (w *Writer) WriteRIB(ts time.Time, r *RIBRecord) error {
-	body, err := MarshalRIBRecord(r)
+	body, err := AppendRIBRecord(w.body(), r)
 	if err != nil {
 		return err
 	}
+	w.keepBody(body)
 	sub := uint16(SubtypeRIBIPv4Unicast)
 	if r.Prefix.Addr().Is6() {
 		sub = SubtypeRIBIPv6Unicast
@@ -70,10 +91,11 @@ func (w *Writer) WriteRIB(ts time.Time, r *RIBRecord) error {
 
 // WriteBGP4MP marshals and writes m.
 func (w *Writer) WriteBGP4MP(ts time.Time, m *BGP4MPMessage) error {
-	body, err := MarshalBGP4MP(m)
+	body, err := AppendBGP4MP(w.body(), m)
 	if err != nil {
 		return err
 	}
+	w.keepBody(body)
 	sub := uint16(SubtypeBGP4MPMessage)
 	if m.AS4 {
 		sub = SubtypeBGP4MPMessageAS4
@@ -81,8 +103,13 @@ func (w *Writer) WriteBGP4MP(ts time.Time, m *BGP4MPMessage) error {
 	return w.WriteRecord(ts, TypeBGP4MP, sub, body)
 }
 
-// Flush flushes buffered records to the underlying writer.
+// Flush flushes buffered records to the underlying writer and returns
+// the scratch encode buffer to the pool.
 func (w *Writer) Flush() error {
+	if w.buf != nil {
+		bodyPool.Put(w.buf)
+		w.buf = nil
+	}
 	if w.err != nil {
 		return w.err
 	}
@@ -99,28 +126,41 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
 
 // Next returns the next raw record, or io.EOF at a clean end of stream.
 func (r *Reader) Next() (*Record, error) {
+	rec := &Record{}
+	if err := r.readInto(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// readInto reads the next record into rec, reusing rec.Body's capacity.
+// The bulk readers (ReadDump, ReadUpdates) decode each record before
+// fetching the next, so one record's worth of body buffer serves a
+// whole archive.
+func (r *Reader) readInto(rec *Record) error {
 	var hdr [12]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return nil, io.EOF
+			return io.EOF
 		}
-		return nil, ErrShortHeader
+		return ErrShortHeader
 	}
-	rec := &Record{
-		Timestamp: time.Unix(int64(get32(hdr[:])), 0).UTC(),
-		Type:      get16(hdr[4:]),
-		Subtype:   get16(hdr[6:]),
-	}
-	length := get32(hdr[8:])
+	rec.Timestamp = time.Unix(int64(get32(hdr[:])), 0).UTC()
+	rec.Type = get16(hdr[4:])
+	rec.Subtype = get16(hdr[6:])
+	length := int(get32(hdr[8:]))
 	const maxRecord = 64 << 20
 	if length > maxRecord {
-		return nil, fmt.Errorf("mrt: record length %d exceeds %d", length, maxRecord)
+		return fmt.Errorf("mrt: record length %d exceeds %d", length, maxRecord)
 	}
-	rec.Body = make([]byte, length)
+	if cap(rec.Body) < length {
+		rec.Body = make([]byte, length)
+	}
+	rec.Body = rec.Body[:length]
 	if _, err := io.ReadFull(r.r, rec.Body); err != nil {
-		return nil, fmt.Errorf("mrt: truncated record body: %w", err)
+		return fmt.Errorf("mrt: truncated record body: %w", err)
 	}
-	return rec, nil
+	return nil
 }
 
 // Dump is the decoded contents of a TABLE_DUMP_V2 archive.
@@ -134,8 +174,9 @@ type Dump struct {
 func ReadDump(r io.Reader) (*Dump, error) {
 	rd := NewReader(r)
 	d := &Dump{}
+	var rec Record // body buffer reused across records
 	for {
-		rec, err := rd.Next()
+		err := rd.readInto(&rec)
 		if err == io.EOF {
 			break
 		}
@@ -185,8 +226,9 @@ func ReadDumpFile(path string) (*Dump, error) {
 func ReadUpdates(r io.Reader) ([]*BGP4MPMessage, error) {
 	rd := NewReader(r)
 	var out []*BGP4MPMessage
+	var rec Record // body buffer reused across records
 	for {
-		rec, err := rd.Next()
+		err := rd.readInto(&rec)
 		if err == io.EOF {
 			return out, nil
 		}

@@ -98,10 +98,15 @@ func need(b []byte, n int, what string) error {
 
 // MarshalPeerIndexTable encodes the table into an MRT record body.
 func MarshalPeerIndexTable(t *PeerIndexTable) ([]byte, error) {
+	return AppendPeerIndexTable(nil, t)
+}
+
+// AppendPeerIndexTable appends the encoded table to b and returns the
+// extended slice, reusing b's capacity.
+func AppendPeerIndexTable(b []byte, t *PeerIndexTable) ([]byte, error) {
 	if len(t.Peers) > 0xFFFF {
 		return nil, fmt.Errorf("mrt: %d peers exceed peer index table capacity", len(t.Peers))
 	}
-	var b []byte
 	cid := t.CollectorID
 	if !cid.IsValid() {
 		cid = netip.AddrFrom4([4]byte{})
@@ -182,25 +187,35 @@ func UnmarshalPeerIndexTable(b []byte) (*PeerIndexTable, error) {
 
 // MarshalRIBRecord encodes a RIB_IPVx_UNICAST body.
 func MarshalRIBRecord(r *RIBRecord) ([]byte, error) {
+	return AppendRIBRecord(nil, r)
+}
+
+// AppendRIBRecord appends the encoded record to b and returns the
+// extended slice. Attributes are serialized in place with their length
+// backpatched, so encoding one record performs no allocation beyond
+// growing b.
+func AppendRIBRecord(b []byte, r *RIBRecord) ([]byte, error) {
 	if len(r.Entries) > 0xFFFF {
 		return nil, fmt.Errorf("mrt: %d RIB entries exceed capacity", len(r.Entries))
 	}
-	var b []byte
 	b = put32(b, r.Sequence)
 	b = r.Prefix.AppendWire(b)
 	b = put16(b, uint16(len(r.Entries)))
 	for _, e := range r.Entries {
 		b = put16(b, e.PeerIndex)
 		b = put32(b, uint32(e.Originated.Unix()))
-		attrs, err := e.Attrs.AppendWire(nil, true)
+		lenAt := len(b)
+		b = append(b, 0, 0) // attribute length, backpatched below
+		var err error
+		b, err = e.Attrs.AppendWire(b, true)
 		if err != nil {
 			return nil, err
 		}
-		if len(attrs) > 0xFFFF {
-			return nil, fmt.Errorf("mrt: attributes too long (%d)", len(attrs))
+		alen := len(b) - lenAt - 2
+		if alen > 0xFFFF {
+			return nil, fmt.Errorf("mrt: attributes too long (%d)", alen)
 		}
-		b = put16(b, uint16(len(attrs)))
-		b = append(b, attrs...)
+		b[lenAt], b[lenAt+1] = byte(alen>>8), byte(alen)
 	}
 	return b, nil
 }
@@ -253,7 +268,12 @@ func UnmarshalRIBRecord(b []byte, v6 bool) (*RIBRecord, error) {
 
 // MarshalBGP4MP encodes a BGP4MP_MESSAGE(_AS4) body.
 func MarshalBGP4MP(m *BGP4MPMessage) ([]byte, error) {
-	var b []byte
+	return AppendBGP4MP(nil, m)
+}
+
+// AppendBGP4MP appends the encoded body to b and returns the extended
+// slice, reusing b's capacity.
+func AppendBGP4MP(b []byte, m *BGP4MPMessage) ([]byte, error) {
 	if m.AS4 {
 		b = put32(b, uint32(m.PeerASN))
 		b = put32(b, uint32(m.LocalASN))

@@ -8,10 +8,17 @@
 // This is the substrate that stands in for the live Internet: collector
 // archives, looking-glass output and the public AS-path view are all
 // derived from these trees.
+//
+// The engine is built for bulk tree computation: adjacency is stored as
+// flat compressed-sparse-row arrays sorted once at construction, route
+// server filter pairs are precomputed into bitsets, and per-destination
+// working memory comes from reusable scratch arenas, so computing one
+// tree performs no sorting and near-zero allocation.
 package propagate
 
 import (
-	"sort"
+	"math/bits"
+	"slices"
 	"sync"
 
 	"mlpeering/internal/bgp"
@@ -61,13 +68,77 @@ type hop struct {
 	dist      uint16
 }
 
+// csr is a compressed-sparse-row adjacency list: every node's neighbor
+// list, concatenated into one backing array. Node i's neighbors are
+// adj[off[i]:off[i+1]], sorted ascending at build time so traversal
+// order is deterministic without any per-tree sorting.
+type csr struct {
+	off []int32
+	adj []int32
+}
+
+func (c *csr) row(i int32) []int32 { return c.adj[c.off[i]:c.off[i+1]] }
+
+// ixpState is one IXP's route-server configuration in dense,
+// member-slot-indexed form. A "slot" is a member's position in the
+// ascending-ASN member list; slotOf maps AS index -> slot (-1 when the
+// AS is not an RS member here).
 type ixpState struct {
 	info    *ixp.Info
-	members []int32
-	exports map[int32]ixp.ExportFilter
-	imports map[int32]ixp.ExportFilter
-	comms   map[int32]bgp.Communities
+	members []int32 // AS indices, ascending (== ascending ASN)
+	slotOf  []int32 // dense AS index -> member slot, -1 if not a member
+
+	hasExport []bool
+	hasImport []bool
+	exports   []ixp.ExportFilter
+	imports   []ixp.ExportFilter
+	comms     []bgp.Communities
+
+	// allowed is a per-exporter bitset over importer slots: bit v of row
+	// e is set iff member e has an export filter allowing member v AND
+	// member v has an import filter allowing member e (and v != e). It
+	// folds the two map lookups and two filter evaluations of the
+	// member-pair inner loop into a single word scan.
+	allowed []uint64
+	words   int // words per bitset row: ceil(len(members)/64)
 }
+
+// allowedBit reports whether exporter slot e may send to importer slot v.
+func (st *ixpState) allowedBit(e, v int32) bool {
+	return st.allowed[int(e)*st.words+int(v)>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// scratch is the per-worker arena reused across tree computations:
+// frontier queues for the BFS phases, the score table, and distance
+// buckets for the downward phase. It never escapes a single compute
+// call.
+type scratch struct {
+	frontier []int32
+	next     []int32
+	inNext   []bool
+	scores   []uint64
+	buckets  [][]int32
+}
+
+// Route preference packed into one comparable word, so every relaxation
+// is a single load and compare. Higher score = more preferred, with the
+// fields laid out in the engine's preference order:
+//
+//	bits 49..51  class (higher better)
+//	bit  48      bilateral, set only when the node prefers bilateral
+//	bits 32..47  ^dist (lower distance better)
+//	bits  0..31  ^via  (lower next-hop index breaks ties)
+//
+// A strictly greater score is exactly the old field-by-field "better"
+// comparison; equality keeps the incumbent.
+const (
+	scoreClassShift = 49
+	scoreBilBit     = uint64(1) << 48
+	scoreDistShift  = 32
+	// noRouteScore is the score of the initial "no route" state:
+	// class None, dist 0, via noVia.
+	noRouteScore = uint64(0xFFFF) << scoreDistShift
+)
 
 // Engine computes and caches routing trees for a fixed topology.
 // It is safe for concurrent use.
@@ -77,18 +148,44 @@ type Engine struct {
 	idx  map[bgp.ASN]int32
 	asns []bgp.ASN
 
-	up      [][]int32 // providers plus siblings: customer routes travel here
-	down    [][]int32 // customers plus siblings
-	peers   [][]int32
+	up      csr // providers plus siblings: customer routes travel here
+	down    csr // customers plus siblings
+	peers   csr
 	strips  []bool
 	prefBil []bool
 
-	ixps       []*ixpState
-	ixpsByName map[string]int16
+	ixps         []*ixpState
+	ixpsByName   map[string]int16
+	totalMembers int // sum of RS member counts, sizes exporter arrays
 
+	shards    []cacheShard
+	shardMask uint32
+
+	scratchPool sync.Pool
+	treePool    sync.Pool
+}
+
+// cacheShard is one stripe of the tree cache: an LRU keyed by
+// destination plus a singleflight table so concurrent Tree calls for the
+// same destination compute it once.
+type cacheShard struct {
 	mu       sync.Mutex
-	cache    map[bgp.ASN]*Tree
-	cacheCap int
+	capacity int
+	entries  map[bgp.ASN]*lruEntry
+	head     *lruEntry // most recently used
+	tail     *lruEntry // least recently used
+	inflight map[bgp.ASN]*inflightTree
+}
+
+type lruEntry struct {
+	key        bgp.ASN
+	tr         *Tree
+	prev, next *lruEntry
+}
+
+type inflightTree struct {
+	wg sync.WaitGroup
+	tr *Tree
 }
 
 // NewEngine builds an engine over topo. cacheCap bounds the number of
@@ -102,101 +199,257 @@ func NewEngine(topo *topology.Topology, cacheCap int) *Engine {
 		topo:       topo,
 		idx:        make(map[bgp.ASN]int32, n),
 		asns:       make([]bgp.ASN, n),
-		up:         make([][]int32, n),
-		down:       make([][]int32, n),
-		peers:      make([][]int32, n),
 		strips:     make([]bool, n),
 		prefBil:    make([]bool, n),
 		ixpsByName: make(map[string]int16),
-		cache:      make(map[bgp.ASN]*Tree),
-		cacheCap:   cacheCap,
 	}
 	for i, asn := range topo.Order {
 		e.idx[asn] = int32(i)
 		e.asns[i] = asn
 	}
-	toIdx := func(asns []bgp.ASN) []int32 {
-		out := make([]int32, 0, len(asns))
-		for _, a := range asns {
-			if j, ok := e.idx[a]; ok {
-				out = append(out, j)
-			}
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-		return out
-	}
 	for i, asn := range topo.Order {
 		as := topo.ASes[asn]
-		e.up[i] = toIdx(append(append([]bgp.ASN(nil), as.Providers...), as.Siblings...))
-		e.down[i] = toIdx(append(append([]bgp.ASN(nil), as.Customers...), as.Siblings...))
-		e.peers[i] = toIdx(as.Peers)
 		e.strips[i] = as.StripsCommunities
 		e.prefBil[i] = as.PrefersBilateral
 	}
+
+	// Flat CSR adjacency, each row sorted ascending once here so the
+	// propagation phases never sort again.
+	buildCSR := func(pick func(*topology.AS) ([]bgp.ASN, []bgp.ASN)) csr {
+		c := csr{off: make([]int32, n+1)}
+		var buf []int32
+		for i, asn := range topo.Order {
+			a, b := pick(topo.ASes[asn])
+			buf = buf[:0]
+			for _, x := range a {
+				if j, ok := e.idx[x]; ok {
+					buf = append(buf, j)
+				}
+			}
+			for _, x := range b {
+				if j, ok := e.idx[x]; ok {
+					buf = append(buf, j)
+				}
+			}
+			slices.Sort(buf)
+			c.adj = append(c.adj, buf...)
+			c.off[i+1] = int32(len(c.adj))
+		}
+		return c
+	}
+	e.up = buildCSR(func(as *topology.AS) ([]bgp.ASN, []bgp.ASN) { return as.Providers, as.Siblings })
+	e.down = buildCSR(func(as *topology.AS) ([]bgp.ASN, []bgp.ASN) { return as.Customers, as.Siblings })
+	e.peers = buildCSR(func(as *topology.AS) ([]bgp.ASN, []bgp.ASN) { return as.Peers, nil })
+
 	for _, info := range topo.IXPs {
-		st := &ixpState{
-			info:    info,
-			exports: make(map[int32]ixp.ExportFilter),
-			imports: make(map[int32]ixp.ExportFilter),
-			comms:   make(map[int32]bgp.Communities),
+		st := &ixpState{info: info, slotOf: make([]int32, n)}
+		for i := range st.slotOf {
+			st.slotOf[i] = -1
 		}
 		for _, m := range info.SortedRSMembers() {
 			mi, ok := e.idx[m]
 			if !ok {
 				continue
 			}
+			st.slotOf[mi] = int32(len(st.members))
 			st.members = append(st.members, mi)
+		}
+		nm := len(st.members)
+		st.hasExport = make([]bool, nm)
+		st.hasImport = make([]bool, nm)
+		st.exports = make([]ixp.ExportFilter, nm)
+		st.imports = make([]ixp.ExportFilter, nm)
+		st.comms = make([]bgp.Communities, nm)
+		for s, mi := range st.members {
+			m := e.asns[mi]
 			if f, ok := topo.ExportFilter(info.Name, m); ok {
-				st.exports[mi] = f
+				st.exports[s] = f
+				st.hasExport[s] = true
 			}
 			if f, ok := topo.ImportFilter(info.Name, m); ok {
-				st.imports[mi] = f
+				st.imports[s] = f
+				st.hasImport[s] = true
 			}
 			if cs, ok := topo.MemberCommunities(info.Name, m); ok {
-				st.comms[mi] = cs
+				st.comms[s] = cs
+			}
+		}
+		// Precompute the allowed-pair bitsets.
+		st.words = (nm + 63) / 64
+		st.allowed = make([]uint64, nm*st.words)
+		for es := 0; es < nm; es++ {
+			if !st.hasExport[es] {
+				continue
+			}
+			ef := st.exports[es]
+			eASN := e.asns[st.members[es]]
+			row := st.allowed[es*st.words : (es+1)*st.words]
+			for vs := 0; vs < nm; vs++ {
+				if vs == es || !st.hasImport[vs] {
+					continue
+				}
+				vASN := e.asns[st.members[vs]]
+				if ef.Allows(vASN) && st.imports[vs].Allows(eASN) {
+					row[vs>>6] |= 1 << (uint(vs) & 63)
+				}
 			}
 		}
 		e.ixpsByName[info.Name] = int16(len(e.ixps))
 		e.ixps = append(e.ixps, st)
+		e.totalMembers += nm
 	}
+
+	// Shard the cache only when it is big enough for striping to matter;
+	// small caps keep strict single-shard LRU semantics.
+	shardCount := 1
+	if cacheCap >= 256 {
+		shardCount = 8
+	}
+	perShard := (cacheCap + shardCount - 1) / shardCount
+	e.shards = make([]cacheShard, shardCount)
+	e.shardMask = uint32(shardCount - 1)
+	for i := range e.shards {
+		e.shards[i].capacity = perShard
+		e.shards[i].entries = make(map[bgp.ASN]*lruEntry)
+		e.shards[i].inflight = make(map[bgp.ASN]*inflightTree)
+	}
+
+	e.scratchPool.New = func() any {
+		return &scratch{inNext: make([]bool, n), scores: make([]uint64, n)}
+	}
+	e.treePool.New = func() any { return e.newTree() }
 	return e
+}
+
+// newTree allocates a tree for this topology. The exporter list starts
+// empty: most destinations have few exporters, and pooled trees keep
+// whatever capacity they grow.
+func (e *Engine) newTree() *Tree {
+	return &Tree{
+		e:      e,
+		hops:   make([]hop, len(e.asns)),
+		expOff: make([]int32, len(e.ixps)+1),
+	}
 }
 
 // Topology returns the engine's world.
 func (e *Engine) Topology() *topology.Topology { return e.topo }
 
-// Tree returns the routing tree toward dest, computing and caching it
-// on first use. It returns nil for an unknown destination.
-func (e *Engine) Tree(dest bgp.ASN) *Tree {
-	if _, ok := e.idx[dest]; !ok {
+func (e *Engine) shard(dest bgp.ASN) *cacheShard {
+	h := uint32(dest) * 0x9E3779B1 // Fibonacci hashing spreads dense ASN ranges
+	return &e.shards[(h>>16)&e.shardMask]
+}
+
+// lookup returns the cached tree for key and marks it most recently
+// used. Caller holds sh.mu.
+func (sh *cacheShard) lookup(key bgp.ASN) *Tree {
+	ent, ok := sh.entries[key]
+	if !ok {
 		return nil
 	}
-	e.mu.Lock()
-	if tr, ok := e.cache[dest]; ok {
-		e.mu.Unlock()
-		return tr
+	sh.moveToFront(ent)
+	return ent.tr
+}
+
+func (sh *cacheShard) moveToFront(ent *lruEntry) {
+	if sh.head == ent {
+		return
 	}
-	e.mu.Unlock()
+	// Unlink.
+	if ent.prev != nil {
+		ent.prev.next = ent.next
+	}
+	if ent.next != nil {
+		ent.next.prev = ent.prev
+	}
+	if sh.tail == ent {
+		sh.tail = ent.prev
+	}
+	// Push front.
+	ent.prev = nil
+	ent.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = ent
+	}
+	sh.head = ent
+	if sh.tail == nil {
+		sh.tail = ent
+	}
+}
 
-	tr := e.compute(dest)
-
-	e.mu.Lock()
-	if len(e.cache) >= e.cacheCap {
-		// Drop an arbitrary entry; access patterns are bulk scans so
-		// sophistication buys nothing.
-		for k := range e.cache {
-			delete(e.cache, k)
-			break
+// insert adds a computed tree, evicting the least recently used entry
+// when the shard is full. Caller holds sh.mu.
+func (sh *cacheShard) insert(key bgp.ASN, tr *Tree) {
+	if ent, ok := sh.entries[key]; ok {
+		ent.tr = tr
+		sh.moveToFront(ent)
+		return
+	}
+	if len(sh.entries) >= sh.capacity && sh.tail != nil {
+		ev := sh.tail
+		delete(sh.entries, ev.key)
+		sh.tail = ev.prev
+		if sh.tail != nil {
+			sh.tail.next = nil
+		} else {
+			sh.head = nil
 		}
 	}
-	e.cache[dest] = tr
-	e.mu.Unlock()
-	return tr
+	ent := &lruEntry{key: key, tr: tr}
+	sh.entries[key] = ent
+	ent.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = ent
+	}
+	sh.head = ent
+	if sh.tail == nil {
+		sh.tail = ent
+	}
+}
+
+// Tree returns the routing tree toward dest, computing and caching it
+// on first use. Concurrent callers asking for the same destination
+// share one computation. It returns nil for an unknown destination.
+func (e *Engine) Tree(dest bgp.ASN) *Tree {
+	di, ok := e.idx[dest]
+	if !ok {
+		return nil
+	}
+	sh := e.shard(dest)
+	sh.mu.Lock()
+	if tr := sh.lookup(dest); tr != nil {
+		sh.mu.Unlock()
+		return tr
+	}
+	if c, ok := sh.inflight[dest]; ok {
+		sh.mu.Unlock()
+		c.wg.Wait()
+		return c.tr
+	}
+	c := &inflightTree{}
+	c.wg.Add(1)
+	sh.inflight[dest] = c
+	sh.mu.Unlock()
+
+	t := e.newTree() // cached trees live arbitrarily long: never pooled
+	s := e.scratchPool.Get().(*scratch)
+	e.compute(di, t, s)
+	e.scratchPool.Put(s)
+
+	c.tr = t
+	sh.mu.Lock()
+	delete(sh.inflight, dest)
+	sh.insert(dest, t)
+	sh.mu.Unlock()
+	c.wg.Done()
+	return t
 }
 
 // ForEachTree computes the tree of every destination in ascending ASN
 // order using workers goroutines, invoking fn sequentially (fn needs no
-// locking). Trees are not cached; use this for bulk scans.
+// locking). Trees are not cached, and the *Tree passed to fn is only
+// valid for the duration of the call: its buffers are recycled for
+// later destinations, so fn must copy out anything it wants to keep.
 func (e *Engine) ForEachTree(workers int, fn func(*Tree)) {
 	if workers <= 0 {
 		workers = 4
@@ -219,6 +472,8 @@ func (e *Engine) ForEachTree(workers int, fn func(*Tree)) {
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
+				s := e.scratchPool.Get().(*scratch)
+				defer e.scratchPool.Put(s)
 				for {
 					nextMu.Lock()
 					i := next
@@ -228,46 +483,67 @@ func (e *Engine) ForEachTree(workers int, fn func(*Tree)) {
 					}
 					next++
 					nextMu.Unlock()
-					out[i] = e.compute(dests[i])
+					t := e.treePool.Get().(*Tree)
+					e.compute(int32(i), t, s)
+					out[i] = t
 				}
 			}()
 		}
 		wg.Wait()
 		for i := start; i < end; i++ {
 			fn(out[i])
+			e.treePool.Put(out[i])
 			out[i] = nil
 		}
 	}
 }
 
-// compute builds the routing tree toward dest.
-func (e *Engine) compute(dest bgp.ASN) *Tree {
+// compute fills t with the routing tree toward the destination at index
+// di, using s as working memory. Every phase resolves ties by lowest
+// next-hop index, so the result is independent of visit order and no
+// frontier or bucket ever needs sorting. Relaxations compare packed
+// preference scores (see scoreClassShift): cand > scores[v] is exactly
+// the engine's class / bilateral-quirk / distance / next-hop order.
+func (e *Engine) compute(di int32, t *Tree, s *scratch) {
 	n := len(e.asns)
-	di := e.idx[dest]
-	hops := make([]hop, n)
+	t.dest = e.asns[di]
+	t.destIdx = di
+	if cap(t.hops) < n {
+		t.hops = make([]hop, n)
+	}
+	t.hops = t.hops[:n]
+	hops := t.hops
 	for i := range hops {
 		hops[i] = hop{via: noVia, viaIXP: noIXP}
 	}
+	scores := s.scores
+	for i := range scores {
+		scores[i] = noRouteScore
+	}
 	hops[di] = hop{via: noVia, viaIXP: noIXP, class: ClassOrigin, dist: 0}
+	scores[di] = uint64(ClassOrigin)<<scoreClassShift | noRouteScore
 
-	// Phase 1: customer routes propagate up provider (and sibling) edges.
-	frontier := []int32{di}
-	inNext := make([]bool, n)
+	// Phase 1: customer routes propagate up provider (and sibling)
+	// edges, breadth first. A node's final via is the minimum-index
+	// parent at its discovery level, so frontier order cannot change the
+	// outcome.
+	upOff, upAdj := e.up.off, e.up.adj
+	frontier := append(s.frontier[:0], di)
+	next := s.next[:0]
+	inNext := s.inNext
 	for dist := uint16(1); len(frontier) > 0; dist++ {
-		var next []int32
+		next = next[:0]
+		base := uint64(ClassCustomer)<<scoreClassShift | uint64(^dist)<<scoreDistShift
 		for _, u := range frontier {
-			for _, p := range e.up[u] {
-				h := &hops[p]
-				if h.class > ClassCustomer {
-					continue // the origin itself
+			cand := base | uint64(^uint32(u))
+			for _, p := range upAdj[upOff[u]:upOff[u+1]] {
+				sc := scores[p]
+				if cand <= sc {
+					continue
 				}
-				if h.class == ClassCustomer {
-					if h.dist < dist || (h.dist == dist && h.via <= u) {
-						continue
-					}
-				}
-				wasRouted := h.class == ClassCustomer
+				wasRouted := Class(sc>>scoreClassShift) == ClassCustomer
 				hops[p] = hop{via: u, viaIXP: noIXP, class: ClassCustomer, dist: dist}
+				scores[p] = cand
 				if !wasRouted && !inNext[p] {
 					inNext[p] = true
 					next = append(next, p)
@@ -277,106 +553,103 @@ func (e *Engine) compute(dest bgp.ASN) *Tree {
 		for _, p := range next {
 			inNext[p] = false
 		}
-		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
-		frontier = next
+		frontier, next = next, frontier
 	}
-
-	better := func(v int32, cand hop) bool {
-		cur := hops[v]
-		if cand.class != cur.class {
-			return cand.class > cur.class
-		}
-		if cand.class == ClassPeer && e.prefBil[v] && cand.bilateral != cur.bilateral {
-			return cand.bilateral
-		}
-		if cand.dist != cur.dist {
-			return cand.dist < cur.dist
-		}
-		return cand.via < cur.via
-	}
+	s.frontier, s.next = frontier, next
 
 	// Phase 2a: bilateral peer edges, one hop.
+	peerOff, peerAdj := e.peers.off, e.peers.adj
 	for u := int32(0); u < int32(n); u++ {
-		if hops[u].class < ClassCustomer {
+		if Class(scores[u]>>scoreClassShift) < ClassCustomer {
 			continue
 		}
 		d := hops[u].dist + 1
-		for _, v := range e.peers[u] {
-			cand := hop{via: u, viaIXP: noIXP, bilateral: true, class: ClassPeer, dist: d}
-			if better(v, cand) {
-				hops[v] = cand
+		base := uint64(ClassPeer)<<scoreClassShift | uint64(^d)<<scoreDistShift | uint64(^uint32(u))
+		for _, v := range peerAdj[peerOff[u]:peerOff[u+1]] {
+			cand := base
+			if e.prefBil[v] {
+				cand |= scoreBilBit
+			}
+			if cand > scores[v] {
+				hops[v] = hop{via: u, viaIXP: noIXP, bilateral: true, class: ClassPeer, dist: d}
+				scores[v] = cand
 			}
 		}
 	}
 
 	// Phase 2b: route servers. Members with customer/origin routes
-	// export them to the RS; every member whose filters line up
-	// receives a peer-class route. The exporter list per IXP is kept on
-	// the tree for RS-RIB construction.
-	exporters := make([][]int32, len(e.ixps))
+	// export them to the RS; every member whose filters line up (one
+	// precomputed bitset row per exporter) receives a peer-class route.
+	// The exporter list per IXP is kept on the tree, flat, for RS-RIB
+	// construction. Netnod-style community-stripping servers still
+	// reflect routes; only the communities are gone, handled at
+	// reconstruction.
+	if cap(t.expOff) < len(e.ixps)+1 {
+		t.expOff = make([]int32, len(e.ixps)+1)
+	}
+	t.expOff = t.expOff[:len(e.ixps)+1]
+	expFlat := t.expFlat[:0]
 	for xi, st := range e.ixps {
-		if st.info.StripsCommunities {
-			// Netnod-style servers still reflect routes; only the
-			// communities are gone. Handled at reconstruction.
-		}
-		var exp []int32
+		t.expOff[xi] = int32(len(expFlat))
 		for _, m := range st.members {
-			if hops[m].class >= ClassCustomer {
-				exp = append(exp, m)
+			if Class(scores[m]>>scoreClassShift) >= ClassCustomer {
+				expFlat = append(expFlat, m)
 			}
 		}
-		exporters[xi] = exp
-		for _, eIdx := range exp {
-			ef, ok := st.exports[eIdx]
-			if !ok {
+		for _, eIdx := range expFlat[t.expOff[xi]:] {
+			es := st.slotOf[eIdx]
+			if !st.hasExport[es] {
 				continue
 			}
 			d := hops[eIdx].dist + 1
-			eASN := e.asns[eIdx]
-			for _, v := range st.members {
-				if v == eIdx {
-					continue
-				}
-				imf, ok := st.imports[v]
-				if !ok {
-					continue
-				}
-				if !ef.Allows(e.asns[v]) || !imf.Allows(eASN) {
-					continue
-				}
-				cand := hop{via: eIdx, viaIXP: int16(xi), class: ClassPeer, dist: d}
-				if better(v, cand) {
-					hops[v] = cand
+			cand := uint64(ClassPeer)<<scoreClassShift | uint64(^d)<<scoreDistShift | uint64(^uint32(eIdx))
+			row := st.allowed[int(es)*st.words : (int(es)+1)*st.words]
+			for w, word := range row {
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &^= 1 << b
+					v := st.members[w<<6|b]
+					if cand > scores[v] {
+						hops[v] = hop{via: eIdx, viaIXP: int16(xi), class: ClassPeer, dist: d}
+						scores[v] = cand
+					}
 				}
 			}
 		}
 	}
+	t.expOff[len(e.ixps)] = int32(len(expFlat))
+	t.expFlat = expFlat
 
-	// Phase 3: everything propagates down customer (and sibling) edges.
-	maxDist := uint16(0)
-	for i := range hops {
-		if hops[i].class != ClassNone && hops[i].dist > maxDist {
-			maxDist = hops[i].dist
-		}
+	// Phase 3: everything propagates down customer (and sibling) edges,
+	// processed in distance buckets. The initial fill walks indexes
+	// ascending so each bucket starts sorted; relaxations only ever push
+	// into strictly later buckets, and a node's final via is again the
+	// minimum-index parent, so processing order is immaterial.
+	downOff, downAdj := e.down.off, e.down.adj
+	buckets := s.buckets
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
 	}
-	buckets := make([][]int32, int(maxDist)+2)
 	for i := int32(0); i < int32(n); i++ {
 		if hops[i].class != ClassNone {
-			buckets[hops[i].dist] = append(buckets[hops[i].dist], i)
+			d := int(hops[i].dist)
+			for len(buckets) <= d {
+				buckets = append(buckets, nil)
+			}
+			buckets[d] = append(buckets[d], i)
 		}
 	}
 	for d := 0; d < len(buckets); d++ {
-		bucket := buckets[d]
-		sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
-		for _, u := range bucket {
+		for _, u := range buckets[d] {
 			if int(hops[u].dist) != d || hops[u].class == ClassNone {
 				continue // stale queue entry
 			}
 			nd := uint16(d) + 1
-			for _, c := range e.down[u] {
-				cand := hop{via: u, viaIXP: noIXP, class: ClassProvider, dist: nd}
-				if better(c, cand) {
-					hops[c] = cand
+			base := uint64(ClassProvider)<<scoreClassShift | uint64(^nd)<<scoreDistShift | uint64(^uint32(u))
+			for _, c := range downAdj[downOff[u]:downOff[u+1]] {
+				if base > scores[c] {
+					hops[c] = hop{via: u, viaIXP: noIXP, class: ClassProvider, dist: nd}
+					scores[c] = base
 					for len(buckets) <= int(nd) {
 						buckets = append(buckets, nil)
 					}
@@ -385,6 +658,5 @@ func (e *Engine) compute(dest bgp.ASN) *Tree {
 			}
 		}
 	}
-
-	return &Tree{e: e, dest: dest, destIdx: di, hops: hops, exporters: exporters}
+	s.buckets = buckets
 }

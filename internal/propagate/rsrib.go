@@ -96,7 +96,7 @@ func BuildRSRIBs(e *Engine, workers int) map[string]*RSRIB {
 				mi := e.idx[m]
 				var comms bgp.Communities
 				if !st.info.StripsCommunities {
-					comms = st.comms[mi]
+					comms = st.comms[st.slotOf[mi]]
 				}
 				route := tr.RouteFrom(m)
 				if route == nil {

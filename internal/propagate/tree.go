@@ -7,18 +7,29 @@ import (
 )
 
 // Tree is the routing tree toward one destination AS.
+//
+// Trees returned by Engine.Tree are immutable and safe for concurrent
+// use. Trees passed to Engine.ForEachTree are recycled after the
+// callback returns; see that method's contract.
 type Tree struct {
 	e       *Engine
 	dest    bgp.ASN
 	destIdx int32
 	hops    []hop
-	// exporters[xi] lists the RS members (by index) exporting a
+	// Exporters per IXP, flattened: expFlat[expOff[xi]:expOff[xi+1]]
+	// lists the RS members (by AS index, ascending) exporting a
 	// customer/origin route toward dest at IXP xi.
-	exporters [][]int32
+	expFlat []int32
+	expOff  []int32
 }
 
 // Dest returns the destination AS.
 func (t *Tree) Dest() bgp.ASN { return t.dest }
+
+// exportersAt returns the exporting member indices at IXP xi.
+func (t *Tree) exportersAt(xi int16) []int32 {
+	return t.expFlat[t.expOff[xi]:t.expOff[xi+1]]
+}
 
 // Class returns how asn reaches the destination (ClassNone if it
 // cannot).
@@ -50,15 +61,16 @@ func (t *Tree) Exporters(ixpName string) []bgp.ASN {
 		return nil
 	}
 	// Exporting also requires a non-empty export filter: a member that
-	// announces to nobody contributes nothing to the RS RIB.
+	// announces to nobody contributes nothing to the RS RIB. The flat
+	// exporter list is built in ascending member order, so no sort is
+	// needed here.
 	st := t.e.ixps[xi]
 	var out []bgp.ASN
-	for _, m := range t.exporters[xi] {
-		if _, ok := st.exports[m]; ok {
+	for _, m := range t.exportersAt(xi) {
+		if st.hasExport[st.slotOf[m]] {
 			out = append(out, t.e.asns[m])
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -99,27 +111,38 @@ func (t *Tree) RouteFrom(vantage bgp.ASN) *VantageRoute {
 // reconstruct follows via pointers from vi to the destination.
 func (t *Tree) reconstruct(vi int32) *VantageRoute {
 	e := t.e
+	h0 := t.hops[vi]
 	r := &VantageRoute{
-		Class:     t.hops[vi].class,
-		Bilateral: t.hops[vi].bilateral,
+		Class:     h0.class,
+		Bilateral: h0.bilateral,
 		Best:      true,
+		// dist counts AS hops to the destination; +2 leaves room for a
+		// non-transparent RS ASN insertion.
+		Path: make([]bgp.ASN, 0, int(h0.dist)+2),
 	}
 	// Walk the chain. dist strictly decreases along via pointers, so
-	// this terminates.
-	var rsImporterPos = -1 // position in Path of the member that imported from the RS
+	// this terminates. Community survival is tracked inline: communities
+	// attached by the RS exporter survive to the vantage iff no AS
+	// between the vantage (exclusive) and the importer (inclusive)
+	// strips them on export.
 	var rsExporter int32 = noVia
 	var rsIXP int16 = noIXP
+	rsSurvives := false
+	stripsSeen := false
 	cur := vi
 	for {
 		r.Path = append(r.Path, e.asns[cur])
+		if len(r.Path) > 1 && e.strips[cur] {
+			stripsSeen = true
+		}
 		h := t.hops[cur]
 		if h.via == noVia {
 			break
 		}
 		if h.viaIXP != noIXP {
-			rsImporterPos = len(r.Path) - 1
 			rsExporter = h.via
 			rsIXP = h.viaIXP
+			rsSurvives = !stripsSeen
 			st := e.ixps[h.viaIXP]
 			if !st.info.Transparent {
 				r.Path = append(r.Path, st.info.Scheme.RSASN)
@@ -131,20 +154,8 @@ func (t *Tree) reconstruct(vi int32) *VantageRoute {
 		st := e.ixps[rsIXP]
 		r.ViaIXP = st.info.Name
 		r.RSSetter = e.asns[rsExporter]
-		if !st.info.StripsCommunities {
-			// Communities attached by the exporter survive to the
-			// vantage iff no AS between the vantage (exclusive) and the
-			// importer (inclusive) strips them on export.
-			survive := true
-			for p := 1; p <= rsImporterPos; p++ {
-				if e.strips[e.idx[r.Path[p]]] {
-					survive = false
-					break
-				}
-			}
-			if survive {
-				r.Communities = st.comms[rsExporter].Clone()
-			}
+		if !st.info.StripsCommunities && rsSurvives {
+			r.Communities = st.comms[st.slotOf[rsExporter]].Clone()
 		}
 	}
 	return r
@@ -186,7 +197,7 @@ func (t *Tree) AvailableRoutesFrom(vantage bgp.ASN) []*VantageRoute {
 				r.Path = append([]bgp.ASN{vantage, st.info.Scheme.RSASN}, nbRoute.Path...)
 			}
 			if !st.info.StripsCommunities {
-				r.Communities = st.comms[nb].Clone()
+				r.Communities = st.comms[st.slotOf[nb]].Clone()
 			}
 		} else {
 			// Communities on the neighbor's route survive to the
@@ -235,21 +246,18 @@ func (t *Tree) AvailableRoutesFrom(vantage bgp.ASN) []*VantageRoute {
 			add(pi, ClassPeer, true, noIXP)
 		}
 	}
-	// Route server peers.
+	// Route server peers: the precomputed allowed-pair bitset already
+	// folds in export/import filter existence and both Allows checks.
 	for xi, st := range e.ixps {
-		imf, isMember := st.imports[vi]
-		if !isMember {
+		vs := st.slotOf[vi]
+		if vs < 0 || !st.hasImport[vs] {
 			continue
 		}
-		for _, ei := range t.exporters[xi] {
+		for _, ei := range t.exportersAt(int16(xi)) {
 			if ei == vi {
 				continue
 			}
-			ef, ok := st.exports[ei]
-			if !ok {
-				continue
-			}
-			if !ef.Allows(vantage) || !imf.Allows(e.asns[ei]) {
+			if !st.allowedBit(st.slotOf[ei], vs) {
 				continue
 			}
 			add(ei, ClassPeer, false, int16(xi))
