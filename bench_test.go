@@ -379,6 +379,59 @@ func BenchmarkMRTRIBDumpWriteRead(b *testing.B) {
 	}
 }
 
+func BenchmarkTopologyGenerate(b *testing.B) {
+	// The world generator, named the next bottleneck after the flat
+	// propagation engine: test scale (~0.12x paper).
+	cfg := topology.TestConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topo, err := topology.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(topo.Order) == 0 {
+			b.Fatal("empty world")
+		}
+	}
+}
+
+func BenchmarkTopologyGenerateScaled(b *testing.B) {
+	// Paper scale (~4.7k ASes, 1.7k IXP members): the 10-100x scaling
+	// target's unit of account.
+	cfg := topology.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topo, err := topology.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(topo.Order) == 0 {
+			b.Fatal("empty world")
+		}
+	}
+}
+
+func BenchmarkPassiveInference(b *testing.B) {
+	// RunPassive over the fixture's archives: exercises the interned
+	// path store (dedup, hygiene-per-distinct-path, columnar records).
+	c := fixture(b)
+	dict, err := c.World.Dictionary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunPassive(c.World.Dumps, c.World.Updates, dict)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Paths.Len() == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
 func BenchmarkPropagationTree(b *testing.B) {
 	c := fixture(b)
 	topo := c.World.Topo

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"mlpeering/internal/experiments"
@@ -22,11 +23,14 @@ func main() {
 
 	scale := flag.Float64("scale", 0.3, "world scale (1.0 = paper scale)")
 	seed := flag.Int64("seed", 20130501, "generation seed")
+	scenario := flag.String("scenario", "baseline", "world scenario (one of: "+
+		strings.Join(topology.ScenarioNames(), ", ")+")")
 	flag.Parse()
 
 	cfg := topology.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+	cfg.Scenario = *scenario
 
 	start := time.Now()
 	ctx, err := experiments.NewContext(cfg)
@@ -34,7 +38,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ctx.Close()
-	log.Printf("world + inference ready in %v (scale %v)", time.Since(start).Round(time.Millisecond), *scale)
+	log.Printf("world + inference ready in %v (scale %v, scenario %s)",
+		time.Since(start).Round(time.Millisecond), *scale, *scenario)
 
 	if err := ctx.RunAll(os.Stdout); err != nil {
 		log.Fatal(err)

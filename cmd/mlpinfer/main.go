@@ -53,7 +53,7 @@ func main() {
 
 	d := run.Passive.Dropped
 	fmt.Printf("passive: %d paths kept, dropped %d bogon / %d cycle / %d transient\n",
-		len(run.Passive.Paths), d.Bogon, d.Cycle, d.Transient)
+		run.Passive.Paths.Len(), d.Bogon, d.Cycle, d.Transient)
 	fmt.Printf("active:  %d LG queries across %d IXPs\n\n",
 		run.Active.TotalQueries(), len(run.Active.QueriesPerIXP))
 

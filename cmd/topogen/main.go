@@ -30,11 +30,21 @@ func main() {
 	out := flag.String("out", "world", "output directory")
 	scale := flag.Float64("scale", 1.0, "world scale (1.0 = paper scale)")
 	seed := flag.Int64("seed", 20130501, "generation seed")
+	scenario := flag.String("scenario", "baseline", "world scenario (see -list-scenarios)")
+	list := flag.Bool("list-scenarios", false, "list registered world scenarios and exit")
 	flag.Parse()
+
+	if *list {
+		for _, sc := range topology.Scenarios() {
+			fmt.Printf("%-18s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
 
 	cfg := topology.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+	cfg.Scenario = *scenario
 
 	start := time.Now()
 	topo, err := topology.Generate(cfg)
@@ -42,8 +52,8 @@ func main() {
 		log.Fatal(err)
 	}
 	st := topo.Stats()
-	log.Printf("generated %d ASes (%d tier-1, %d transit, %d stub), %d IXPs, %d prefixes in %v",
-		st.ASes, st.Tier1s, st.Transits, st.Stubs, st.IXPs, st.Prefixes, time.Since(start).Round(time.Millisecond))
+	log.Printf("generated %q world: %d ASes (%d tier-1, %d transit, %d stub), %d IXPs, %d prefixes in %v",
+		*scenario, st.ASes, st.Tier1s, st.Transits, st.Stubs, st.IXPs, st.Prefixes, time.Since(start).Round(time.Millisecond))
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
@@ -95,7 +105,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(sf, "seed=%d scale=%v\n%+v\n\nIXPs:\n", cfg.Seed, cfg.Scale, st)
+	fmt.Fprintf(sf, "seed=%d scale=%v scenario=%s\n%+v\n\nIXPs:\n", cfg.Seed, cfg.Scale, cfg.Scenario, st)
 	for _, info := range topo.IXPs {
 		fmt.Fprintf(sf, "  %-10s members=%d rs=%d lg=%v\n",
 			info.Name, len(info.Members), len(info.RSMembers), info.HasLG)

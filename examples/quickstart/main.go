@@ -5,8 +5,10 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"mlpeering/internal/core"
 	"mlpeering/internal/pipeline"
@@ -15,14 +17,18 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	scenario := flag.String("scenario", "baseline", "world scenario (one of: "+
+		strings.Join(topology.ScenarioNames(), ", ")+")")
+	flag.Parse()
 
 	// A small, fully deterministic world (~0.12x paper scale).
 	cfg := topology.TestConfig()
-	world, err := pipeline.BuildWorld(cfg)
+	world, err := pipeline.BuildScenarioWorld(*scenario, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer world.Close()
+	fmt.Printf("world scenario: %s\n", world.Scenario())
 
 	run, err := world.RunInference(context.Background(), core.DefaultActiveConfig())
 	if err != nil {

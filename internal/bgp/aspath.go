@@ -276,34 +276,61 @@ func (p ASPath) appendWire(dst []byte, as4 bool) []byte {
 
 // decodeASPath parses an AS_PATH attribute body.
 func decodeASPath(b []byte, as4 bool) (ASPath, error) {
-	var path ASPath
+	return decodeASPathArena(b, as4, nil)
+}
+
+// decodeASPathArena parses an AS_PATH attribute body, carving segments
+// and ASN arrays from arena when it is non-nil.
+func decodeASPathArena(b []byte, as4 bool, arena *AttrArena) (ASPath, error) {
 	size := 2
 	if as4 {
 		size = 4
 	}
-	for len(b) > 0 {
-		if len(b) < 2 {
+	// Pre-scan the segment headers so arena paths carve exactly one
+	// segment slice (the common case is a single AS_SEQUENCE).
+	nseg := 0
+	for rest := b; len(rest) > 0; {
+		if len(rest) < 2 {
 			return nil, fmt.Errorf("bgp: truncated AS_PATH segment header")
 		}
-		t, n := b[0], int(b[1])
+		t, n := rest[0], int(rest[1])
 		if t != segSet && t != segSequence {
 			return nil, fmt.Errorf("bgp: unknown AS_PATH segment type %d", t)
 		}
-		b = b[2:]
-		if len(b) < n*size {
-			return nil, fmt.Errorf("bgp: truncated AS_PATH segment: need %d bytes, have %d", n*size, len(b))
+		if len(rest) < 2+n*size {
+			return nil, fmt.Errorf("bgp: truncated AS_PATH segment: need %d bytes, have %d", n*size, len(rest)-2)
 		}
-		seg := PathSegment{Set: t == segSet, ASNs: make([]ASN, n)}
+		rest = rest[2+n*size:]
+		nseg++
+	}
+	if nseg == 0 {
+		return nil, nil
+	}
+	var path ASPath
+	if arena != nil {
+		path = ASPath(arena.segSlice(nseg))
+	} else {
+		path = make(ASPath, nseg)
+	}
+	for si := 0; si < nseg; si++ {
+		t, n := b[0], int(b[1])
+		b = b[2:]
+		var asns []ASN
+		if arena != nil {
+			asns = arena.asnSlice(n)
+		} else {
+			asns = make([]ASN, n)
+		}
 		for i := 0; i < n; i++ {
 			if as4 {
-				seg.ASNs[i] = ASN(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+				asns[i] = ASN(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
 				b = b[4:]
 			} else {
-				seg.ASNs[i] = ASN(uint16(b[0])<<8 | uint16(b[1]))
+				asns[i] = ASN(uint16(b[0])<<8 | uint16(b[1]))
 				b = b[2:]
 			}
 		}
-		path = append(path, seg)
+		path[si] = PathSegment{Set: t == segSet, ASNs: asns}
 	}
 	return path, nil
 }

@@ -155,7 +155,19 @@ func (a *PathAttrs) AppendWire(dst []byte, as4 bool) ([]byte, error) {
 
 // DecodeAttrs parses the path attributes section of an UPDATE.
 func DecodeAttrs(b []byte, as4 bool) (*PathAttrs, error) {
-	attrs := &PathAttrs{}
+	return DecodeAttrsArena(b, as4, nil)
+}
+
+// DecodeAttrsArena parses the path attributes section of an UPDATE,
+// slab-allocating the result from arena when it is non-nil. Everything
+// reachable from the returned attributes lives as long as the arena.
+func DecodeAttrsArena(b []byte, as4 bool, arena *AttrArena) (*PathAttrs, error) {
+	var attrs *PathAttrs
+	if arena != nil {
+		attrs = arena.newAttrs()
+	} else {
+		attrs = &PathAttrs{}
+	}
 	for len(b) > 0 {
 		if len(b) < 3 {
 			return nil, fmt.Errorf("bgp: truncated attribute header")
@@ -189,7 +201,7 @@ func DecodeAttrs(b []byte, as4 bool) (*PathAttrs, error) {
 			}
 			attrs.Origin = body[0]
 		case AttrASPath:
-			p, err := decodeASPath(body, as4)
+			p, err := decodeASPathArena(body, as4, arena)
 			if err != nil {
 				return nil, err
 			}
@@ -233,7 +245,12 @@ func DecodeAttrs(b []byte, as4 bool) (*PathAttrs, error) {
 			if length%4 != 0 {
 				return nil, fmt.Errorf("bgp: COMMUNITIES length %d not multiple of 4", length)
 			}
-			cs := make(Communities, 0, length/4)
+			var cs Communities
+			if arena != nil {
+				cs = arena.commSlice(length / 4)
+			} else {
+				cs = make(Communities, 0, length/4)
+			}
 			for i := 0; i < length; i += 4 {
 				cs = append(cs, Community(be32(body[i:])))
 			}

@@ -108,6 +108,10 @@ func (c *Collector) WriteRIB(w io.Writer, ts time.Time) error {
 	entries := make([]mrt.RIBEntry, 0, len(c.feeders))
 	slots := make([]attrSlot, len(c.feeders))
 	var rec mrt.RIBRecord
+	// Routes are reconstructed into an arena rewound per destination:
+	// every record is marshaled before the next tree is consumed, so the
+	// arena-backed paths only need to live that long.
+	var arena propagate.RouteArena
 	c.engine.ForEachTree(c.workers, func(tr *propagate.Tree) {
 		if writeErr != nil {
 			return
@@ -117,8 +121,9 @@ func (c *Collector) WriteRIB(w io.Writer, ts time.Time) error {
 			return
 		}
 		entries = entries[:0]
+		arena.Reset()
 		for i, f := range c.feeders {
-			route := tr.RouteFrom(f.ASN)
+			route := tr.RouteFromArena(f.ASN, &arena)
 			if route == nil || !exports(f, route.Class) {
 				continue
 			}
@@ -222,11 +227,15 @@ func (c *Collector) WriteUpdates(w io.Writer, ts time.Time, opts UpdateOptions) 
 		return mw.WriteBGP4MP(at, msg)
 	}
 
+	// Each sampled route is marshaled before the next draw, so one
+	// arena rewound per iteration serves the whole trace.
+	var arena propagate.RouteArena
 	for i := 0; i < opts.Churn; i++ {
 		f := c.feeders[rng.Intn(len(c.feeders))]
 		d := dests[rng.Intn(len(dests))]
 		tr := c.engine.Tree(d)
-		route := tr.RouteFrom(f.ASN)
+		arena.Reset()
+		route := tr.RouteFromArena(f.ASN, &arena)
 		if route == nil || !exports(f, route.Class) {
 			continue
 		}
@@ -243,7 +252,8 @@ func (c *Collector) WriteUpdates(w io.Writer, ts time.Time, opts UpdateOptions) 
 			f := c.feeders[rng.Intn(len(c.feeders))]
 			d := dests[rng.Intn(len(dests))]
 			tr := c.engine.Tree(d)
-			route := tr.RouteFrom(f.ASN)
+			arena.Reset()
+			route := tr.RouteFromArena(f.ASN, &arena)
 			if route == nil {
 				continue
 			}

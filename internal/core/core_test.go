@@ -7,6 +7,7 @@ import (
 	"mlpeering/internal/bgp"
 	"mlpeering/internal/irr"
 	"mlpeering/internal/ixp"
+	"mlpeering/internal/paths"
 	"mlpeering/internal/relation"
 	"mlpeering/internal/topology"
 )
@@ -220,7 +221,7 @@ func TestPinpointSetter(t *testing.T) {
 		{1, 20, 30},
 		{2, 30, 20},
 	}
-	rels := relation.Infer(paths)
+	rels := relation.InferPaths(paths)
 	if rels.Relationship(20, 30) != relation.RelP2P {
 		t.Skip("synthetic relationship setup did not converge to p2p")
 	}
@@ -241,8 +242,9 @@ func TestHygieneHelpers(t *testing.T) {
 	if !hasCycle([]bgp.ASN{1, 2, 1}) || hasCycle([]bgp.ASN{1, 2, 3}) {
 		t.Fatal("cycle detection")
 	}
-	if pathKey([]bgp.ASN{1, 2}) == pathKey([]bgp.ASN{1, 3}) {
-		t.Fatal("path keys collide")
+	s := paths.NewStore()
+	if s.Intern([]bgp.ASN{1, 2}) == s.Intern([]bgp.ASN{1, 3}) {
+		t.Fatal("distinct paths interned to one id")
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"mlpeering/internal/bgp"
 	"mlpeering/internal/mrt"
+	"mlpeering/internal/paths"
 	"mlpeering/internal/relation"
 	"mlpeering/internal/topology"
 )
@@ -18,8 +19,9 @@ type DropStats struct {
 type PassiveResult struct {
 	// Obs holds the per-setter community observations.
 	Obs *Observations
-	// Paths are the surviving public AS paths (collector-peer first).
-	Paths [][]bgp.ASN
+	// Paths are the surviving public AS paths (collector-peer first),
+	// interned: each distinct path is stored once in a shared arena.
+	Paths paths.View
 	// Links is the public-view AS link set extracted from Paths.
 	Links map[topology.LinkKey]bool
 	// PrefixOrigins maps each prefix seen in public data to its origin
@@ -35,17 +37,10 @@ type PassiveResult struct {
 	SetterUnresolved, IXPUnresolved int
 }
 
-// pathRecord is one (path, communities, prefix) triple from the archive.
-type pathRecord struct {
-	path   []bgp.ASN
-	comms  bgp.Communities
-	prefix bgp.Prefix
-	stable bool // came from a RIB dump rather than an update
-}
-
 // RunPassive mines MRT archives per §4.2: hygiene-filter the paths,
 // identify RS communities and their IXP, pinpoint the setter, and
-// record observations.
+// record observations. Paths are interned on ingest, so the hygiene
+// checks run once per distinct path instead of once per announcement.
 func RunPassive(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Dictionary) (*PassiveResult, error) {
 	res := &PassiveResult{
 		Obs:           NewObservations(),
@@ -53,15 +48,15 @@ func RunPassive(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Dictionar
 		PrefixOrigins: make(map[bgp.Prefix]bgp.ASN),
 	}
 
-	var records []pathRecord
-	stableKeys := make(map[string]bool)
+	store := paths.NewStore()
+	recs := paths.NewRecords(store)
+	var stableID []bool // path id -> seen in a stable RIB dump
 
-	appendRecord := func(path []bgp.ASN, comms bgp.Communities, prefix bgp.Prefix, stable bool) {
-		rec := pathRecord{path: path, comms: comms, prefix: prefix, stable: stable}
-		records = append(records, rec)
-		if stable {
-			stableKeys[pathKey(path)] = true
+	markStable := func(id paths.ID) {
+		for int(id) >= len(stableID) {
+			stableID = append(stableID, false)
 		}
+		stableID[id] = true
 	}
 
 	for _, d := range dumps {
@@ -73,7 +68,9 @@ func RunPassive(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Dictionar
 				if e.Attrs == nil {
 					continue
 				}
-				appendRecord(e.Attrs.ASPath.Dedup(), e.Attrs.Communities, rib.Prefix, true)
+				id := store.InternASPath(e.Attrs.ASPath)
+				recs.Add(id, e.Attrs.Communities, rib.Prefix, true)
+				markStable(id)
 			}
 		}
 	}
@@ -82,68 +79,81 @@ func RunPassive(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Dictionar
 		if !ok || upd.Attrs == nil {
 			continue
 		}
+		id := store.InternASPath(upd.Attrs.ASPath)
 		for _, p := range upd.NLRI {
-			appendRecord(upd.Attrs.ASPath.Dedup(), upd.Attrs.Communities, p, false)
+			recs.Add(id, upd.Attrs.Communities, p, false)
 		}
 	}
 
-	// Hygiene pass (§5): drop bogons, cycles and transient paths.
-	var clean []pathRecord
-	for _, rec := range records {
-		if hasBogon(rec.path) {
+	// Hygiene flags (§5), computed once per distinct path.
+	n := store.Len()
+	badBogon := make([]bool, n)
+	badCycle := make([]bool, n)
+	for id := 0; id < n; id++ {
+		p := store.Path(paths.ID(id))
+		badBogon[id] = hasBogon(p)
+		badCycle[id] = hasCycle(p)
+	}
+	for len(stableID) < n {
+		stableID = append(stableID, false)
+	}
+
+	// Hygiene pass over the rows, building the public view (surviving
+	// unique paths, links, prefix origins) in the same sweep.
+	keptRow := make([]bool, recs.Len())
+	seenPath := make([]bool, n)
+	var kept []paths.ID
+	for i := 0; i < recs.Len(); i++ {
+		id := recs.PathID[i]
+		switch {
+		case badBogon[id]:
 			res.Dropped.Bogon++
 			continue
-		}
-		if hasCycle(rec.path) {
+		case badCycle[id]:
 			res.Dropped.Cycle++
 			continue
-		}
-		if !rec.stable && !stableKeys[pathKey(rec.path)] {
+		case !recs.Stable[i] && !stableID[id]:
 			res.Dropped.Transient++
 			continue
 		}
-		clean = append(clean, rec)
-	}
-
-	// Public view: paths, links, prefix origins.
-	seenPath := make(map[string]bool)
-	for _, rec := range clean {
-		if len(rec.path) == 0 {
+		keptRow[i] = true
+		p := store.Path(id)
+		if len(p) == 0 {
 			continue
 		}
-		k := pathKey(rec.path)
-		if !seenPath[k] {
-			seenPath[k] = true
-			res.Paths = append(res.Paths, rec.path)
+		if !seenPath[id] {
+			seenPath[id] = true
+			kept = append(kept, id)
+			for j := 0; j+1 < len(p); j++ {
+				res.Links[topology.MakeLinkKey(p[j], p[j+1])] = true
+			}
 		}
-		for i := 0; i+1 < len(rec.path); i++ {
-			res.Links[topology.MakeLinkKey(rec.path[i], rec.path[i+1])] = true
-		}
-		res.PrefixOrigins[rec.prefix] = rec.path[len(rec.path)-1]
+		res.PrefixOrigins[recs.Prefix[i]] = p[len(p)-1]
 	}
+	res.Paths = paths.NewView(store, kept)
 
 	// Relationship inference over the public view, needed for the
 	// setter disambiguation of case 3.
 	res.Rels = relation.Infer(res.Paths)
 
 	// Community mining.
-	for _, rec := range clean {
-		if len(rec.comms) == 0 {
+	for i := 0; i < recs.Len(); i++ {
+		if !keptRow[i] || len(recs.Comms[i]) == 0 {
 			continue
 		}
-		entry, ok := dict.IdentifyIXP(rec.comms)
+		entry, ok := dict.IdentifyIXP(recs.Comms[i])
 		if !ok {
-			if anySchemeRelevant(dict, rec.comms) {
+			if anySchemeRelevant(dict, recs.Comms[i]) {
 				res.IXPUnresolved++
 			}
 			continue
 		}
-		setter, ok := PinpointSetter(rec.path, entry, res.Rels)
+		setter, ok := PinpointSetter(recs.Path(i), entry, res.Rels)
 		if !ok {
 			res.SetterUnresolved++
 			continue
 		}
-		res.Obs.Add(entry.Name, setter, rec.prefix, entry.Scheme.RelevantCommunities(rec.comms), ObsPassive)
+		res.Obs.Add(entry.Name, setter, recs.Prefix[i], entry.Scheme.RelevantCommunities(recs.Comms[i]), ObsPassive)
 	}
 	return res, nil
 }
@@ -211,12 +221,4 @@ func hasCycle(path []bgp.ASN) bool {
 		seen[a] = true
 	}
 	return false
-}
-
-func pathKey(path []bgp.ASN) string {
-	b := make([]byte, 0, len(path)*5)
-	for _, a := range path {
-		b = append(b, byte(a>>24), byte(a>>16), byte(a>>8), byte(a), '|')
-	}
-	return string(b)
 }

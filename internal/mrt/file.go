@@ -170,10 +170,13 @@ type Dump struct {
 }
 
 // ReadDump decodes a full TABLE_DUMP_V2 archive from r. BGP4MP records
-// interleaved in the stream are ignored.
+// interleaved in the stream are ignored. Records, entries and decoded
+// attributes are slab-allocated from one arena owned by the returned
+// Dump, so the whole archive retains a handful of chunk allocations.
 func ReadDump(r io.Reader) (*Dump, error) {
 	rd := NewReader(r)
 	d := &Dump{}
+	var arena DumpArena
 	var rec Record // body buffer reused across records
 	for {
 		err := rd.readInto(&rec)
@@ -194,7 +197,7 @@ func ReadDump(r io.Reader) (*Dump, error) {
 			}
 			d.Index = idx
 		case SubtypeRIBIPv4Unicast, SubtypeRIBIPv6Unicast:
-			rib, err := UnmarshalRIBRecord(rec.Body, rec.Subtype == SubtypeRIBIPv6Unicast)
+			rib, err := UnmarshalRIBRecordArena(rec.Body, rec.Subtype == SubtypeRIBIPv6Unicast, &arena)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,167 @@
+// Package paths provides an interned, columnar AS-path store. Collector
+// archives contain the same AS path thousands of times (once per prefix
+// per feeder); storing each distinct path once — all hops in one shared
+// backing arena, addressed by a small integer ID — removes the per-record
+// path allocation that used to dominate the passive pipeline, and gives
+// every consumer (link extraction, relationship inference, setter
+// pinpointing) O(1) access to the deduplicated path set.
+package paths
+
+import (
+	"mlpeering/internal/bgp"
+)
+
+// ID names one distinct AS path within a Store.
+type ID int32
+
+// Store interns AS paths: each distinct path is stored exactly once in a
+// shared backing arena and addressed by ID. The zero Store is not ready
+// for use; call NewStore.
+type Store struct {
+	arena  []bgp.ASN // all hops of all distinct paths, concatenated
+	off    []int32   // path id -> [off[id], off[id+1]) into arena
+	lookup map[string]ID
+	keyBuf []byte // scratch for lookup keys; only misses copy it
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{off: []int32{0}, lookup: make(map[string]ID)}
+}
+
+// Len returns the number of distinct paths interned.
+func (s *Store) Len() int { return len(s.off) - 1 }
+
+// Hops returns the total hop count across all distinct paths (the arena
+// size), a direct measure of how much the interning saved.
+func (s *Store) Hops() int { return len(s.arena) }
+
+// Path returns the hops of path id as a slice into the shared arena.
+// Callers must not modify it.
+func (s *Store) Path(id ID) []bgp.ASN {
+	return s.arena[s.off[id]:s.off[id+1] : s.off[id+1]]
+}
+
+// key builds the lookup key for the arena tail [start:] in s.keyBuf.
+func (s *Store) key(start int) []byte {
+	b := s.keyBuf[:0]
+	for _, a := range s.arena[start:] {
+		b = append(b, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+	}
+	s.keyBuf = b
+	return b
+}
+
+// commit finishes an intern whose candidate hops sit at the arena tail
+// beginning at start: dedup-lookup, rolling the arena back on a hit.
+func (s *Store) commit(start int) ID {
+	k := s.key(start)
+	if id, ok := s.lookup[string(k)]; ok {
+		s.arena = s.arena[:start] // duplicate: drop the tail copy
+		return id
+	}
+	id := ID(len(s.off) - 1)
+	s.off = append(s.off, int32(len(s.arena)))
+	s.lookup[string(k)] = id
+	return id
+}
+
+// Intern adds the path (collapsing adjacent duplicate hops, i.e. BGP
+// prepending) and returns its ID. Re-interning an identical path returns
+// the existing ID without allocating.
+func (s *Store) Intern(path []bgp.ASN) ID {
+	start := len(s.arena)
+	for _, a := range path {
+		if len(s.arena) == start || s.arena[len(s.arena)-1] != a {
+			s.arena = append(s.arena, a)
+		}
+	}
+	return s.commit(start)
+}
+
+// InternASPath interns the flattened, prepending-collapsed form of a
+// wire AS_PATH without materializing an intermediate slice.
+func (s *Store) InternASPath(p bgp.ASPath) ID {
+	start := len(s.arena)
+	for _, seg := range p {
+		for _, a := range seg.ASNs {
+			if len(s.arena) == start || s.arena[len(s.arena)-1] != a {
+				s.arena = append(s.arena, a)
+			}
+		}
+	}
+	return s.commit(start)
+}
+
+// FromSlices interns every path of pp into a fresh store, in order.
+func FromSlices(pp [][]bgp.ASN) *Store {
+	s := NewStore()
+	for _, p := range pp {
+		s.Intern(p)
+	}
+	return s
+}
+
+// View is an ordered subset of a store's paths: the unit consumers
+// iterate (e.g. the hygiene-surviving public paths of the passive
+// pipeline).
+type View struct {
+	store *Store
+	ids   []ID
+}
+
+// NewView builds a view over ids (not copied).
+func NewView(s *Store, ids []ID) View { return View{store: s, ids: ids} }
+
+// All returns a view over every path in the store, in intern order.
+func (s *Store) All() View {
+	ids := make([]ID, s.Len())
+	for i := range ids {
+		ids[i] = ID(i)
+	}
+	return View{store: s, ids: ids}
+}
+
+// Len returns the number of paths in the view.
+func (v View) Len() int { return len(v.ids) }
+
+// ID returns the store ID of the i-th path.
+func (v View) ID(i int) ID { return v.ids[i] }
+
+// Path returns the i-th path, a slice into the store arena.
+func (v View) Path(i int) []bgp.ASN { return v.store.Path(v.ids[i]) }
+
+// Store returns the backing store.
+func (v View) Store() *Store { return v.store }
+
+// Records is the columnar (path, communities, prefix, stability) table
+// mined from collector archives: one row per announcement, with the AS
+// path held in the interned store so repeated announcements of the same
+// path cost four bytes, not a slice.
+type Records struct {
+	store  *Store
+	PathID []ID
+	Comms  []bgp.Communities
+	Prefix []bgp.Prefix
+	Stable []bool
+}
+
+// NewRecords returns an empty record table backed by store.
+func NewRecords(store *Store) *Records { return &Records{store: store} }
+
+// Store returns the backing path store.
+func (r *Records) Store() *Store { return r.store }
+
+// Len returns the number of rows.
+func (r *Records) Len() int { return len(r.PathID) }
+
+// Add appends one row.
+func (r *Records) Add(id ID, comms bgp.Communities, prefix bgp.Prefix, stable bool) {
+	r.PathID = append(r.PathID, id)
+	r.Comms = append(r.Comms, comms)
+	r.Prefix = append(r.Prefix, prefix)
+	r.Stable = append(r.Stable, stable)
+}
+
+// Path returns the path of row i.
+func (r *Records) Path(i int) []bgp.ASN { return r.store.Path(r.PathID[i]) }

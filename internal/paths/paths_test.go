@@ -1,0 +1,109 @@
+package paths
+
+import (
+	"testing"
+
+	"mlpeering/internal/bgp"
+)
+
+func TestInternDedup(t *testing.T) {
+	s := NewStore()
+	a := s.Intern([]bgp.ASN{1, 2, 3})
+	b := s.Intern([]bgp.ASN{1, 2, 3})
+	if a != b {
+		t.Fatalf("identical paths got distinct ids %d, %d", a, b)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	c := s.Intern([]bgp.ASN{1, 2, 4})
+	if c == a {
+		t.Fatal("distinct paths share an id")
+	}
+	got := s.Path(a)
+	want := []bgp.ASN{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Path(%d) = %v", a, got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Path(%d) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestInternCollapsesPrepending(t *testing.T) {
+	s := NewStore()
+	a := s.Intern([]bgp.ASN{1, 1, 1, 2, 3, 3})
+	b := s.Intern([]bgp.ASN{1, 2, 3})
+	if a != b {
+		t.Fatal("prepended path must intern to its collapsed form")
+	}
+	if s.Hops() != 3 {
+		t.Fatalf("Hops = %d, want 3", s.Hops())
+	}
+}
+
+func TestInternASPath(t *testing.T) {
+	s := NewStore()
+	p := bgp.ASPath{
+		{ASNs: []bgp.ASN{10, 10, 20}},
+		{ASNs: []bgp.ASN{20, 30}},
+	}
+	a := s.InternASPath(p)
+	b := s.Intern([]bgp.ASN{10, 20, 30})
+	if a != b {
+		t.Fatal("InternASPath must flatten and collapse like Intern")
+	}
+}
+
+func TestInternEmptyPath(t *testing.T) {
+	s := NewStore()
+	a := s.Intern(nil)
+	if got := s.Path(a); len(got) != 0 {
+		t.Fatalf("empty path = %v", got)
+	}
+	if b := s.Intern([]bgp.ASN{}); b != a {
+		t.Fatal("empty paths must share an id")
+	}
+}
+
+func TestViewAndRecords(t *testing.T) {
+	s := NewStore()
+	a := s.Intern([]bgp.ASN{1, 2})
+	bID := s.Intern([]bgp.ASN{3, 4})
+	v := NewView(s, []ID{bID, a})
+	if v.Len() != 2 || v.Path(0)[0] != 3 || v.Path(1)[0] != 1 {
+		t.Fatalf("view order wrong: %v %v", v.Path(0), v.Path(1))
+	}
+	all := s.All()
+	if all.Len() != s.Len() {
+		t.Fatalf("All len = %d, want %d", all.Len(), s.Len())
+	}
+
+	r := NewRecords(s)
+	pfx := bgp.MustPrefix("10.0.0.0/24")
+	r.Add(a, nil, pfx, true)
+	r.Add(bID, bgp.Communities{1}, pfx, false)
+	if r.Len() != 2 || r.Path(0)[0] != 1 || !r.Stable[0] || r.Stable[1] {
+		t.Fatalf("records wrong: %+v", r)
+	}
+}
+
+func TestFromSlices(t *testing.T) {
+	s := FromSlices([][]bgp.ASN{{1, 2}, {1, 2}, {2, 3}})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	s := NewStore()
+	p := []bgp.ASN{64500, 3356, 6695, 196615, 8359}
+	s.Intern(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Intern(p)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"mlpeering/internal/bgp"
@@ -54,8 +55,52 @@ type World struct {
 // Timestamp is the nominal collection time: the paper's 1 May 2013.
 var Timestamp = time.Date(2013, 5, 1, 0, 0, 0, 0, time.UTC)
 
-// BuildWorld generates and wires a world from the topology config.
+// stageGroup runs independent build stages concurrently and keeps the
+// first error.
+type stageGroup struct {
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	err error
+}
+
+func (g *stageGroup) Go(name string, f func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := f(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = fmt.Errorf("pipeline: %s stage: %w", name, err)
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+func (g *stageGroup) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
+// BuildScenarioWorld builds the named world scenario (see
+// topology.ScenarioNames) over cfg.
+func BuildScenarioWorld(scenario string, cfg topology.Config) (*World, error) {
+	cfg.Scenario = scenario
+	return BuildWorld(cfg)
+}
+
+// BuildWorld generates and wires a world from the topology config,
+// running the scenario cfg.Scenario names (baseline when empty).
+//
+// Construction is staged: generation and the propagation engine come
+// first, then every independent substrate — route-server RIBs, the
+// collector RIB archive, the update trace, the IRR, PeeringDB, the
+// geolocation database — is built concurrently, each stage driving the
+// engine's worker pool for the trees it needs.
 func BuildWorld(cfg topology.Config) (*World, error) {
+	if cfg.Scenario == "" {
+		cfg.Scenario = "baseline" // normalize once; Scenario() reports it
+	}
 	topo, err := topology.Generate(cfg)
 	if err != nil {
 		return nil, err
@@ -63,43 +108,64 @@ func BuildWorld(cfg topology.Config) (*World, error) {
 	w := &World{
 		Topo:   topo,
 		Engine: propagate.NewEngine(topo, 0),
-		Geo:    geo.New(topo.PrefixRegions),
-		IRR:    irr.Build(topo, cfg.IRRRegistrationFrac, cfg.Seed+1),
-		Owners: topo.PrefixOwners(),
 		cfg:    cfg,
 	}
-	w.RSRIBs = propagate.BuildRSRIBs(w.Engine, 4)
-	w.PDB = buildPDB(topo)
 
-	// Collector archives: write MRT to memory, read back.
-	col := collector.New("rrc-synth", w.Engine, nil, 4)
-	var ribBuf, updBuf bytes.Buffer
-	if err := col.WriteRIB(&ribBuf, Timestamp); err != nil {
-		return nil, err
-	}
-	dump, err := mrt.ReadDump(&ribBuf)
-	if err != nil {
-		return nil, err
-	}
-	w.Dumps = []*mrt.Dump{dump}
-	updOpts := collector.UpdateOptions{
-		Churn:          200,
-		TransientPaths: 12,
-		PoisonedPaths:  8,
-		BogonPaths:     6,
-		Seed:           cfg.Seed + 2,
-	}
-	if err := col.WriteUpdates(&updBuf, Timestamp.Add(time.Hour), updOpts); err != nil {
-		return nil, err
-	}
-	w.Updates, err = mrt.ReadUpdates(&updBuf)
-	if err != nil {
+	var g stageGroup
+	g.Go("rsribs", func() error {
+		w.RSRIBs = propagate.BuildRSRIBs(w.Engine, 4)
+		return nil
+	})
+	g.Go("rib-archive", func() error {
+		col := collector.New("rrc-synth", w.Engine, nil, 4)
+		var ribBuf bytes.Buffer
+		if err := col.WriteRIB(&ribBuf, Timestamp); err != nil {
+			return err
+		}
+		dump, err := mrt.ReadDump(&ribBuf)
+		if err != nil {
+			return err
+		}
+		w.Dumps = []*mrt.Dump{dump}
+		return nil
+	})
+	g.Go("update-trace", func() error {
+		col := collector.New("rrc-synth", w.Engine, nil, 4)
+		updOpts := collector.UpdateOptions{
+			Churn:          200,
+			TransientPaths: 12,
+			PoisonedPaths:  8,
+			BogonPaths:     6,
+			Seed:           cfg.Seed + 2,
+		}
+		var updBuf bytes.Buffer
+		if err := col.WriteUpdates(&updBuf, Timestamp.Add(time.Hour), updOpts); err != nil {
+			return err
+		}
+		var err error
+		w.Updates, err = mrt.ReadUpdates(&updBuf)
+		return err
+	})
+	g.Go("irr", func() error {
+		w.IRR = irr.Build(topo, cfg.IRRRegistrationFrac, cfg.Seed+1)
+		return nil
+	})
+	g.Go("registries", func() error {
+		w.Geo = geo.New(topo.PrefixRegions)
+		w.Owners = topo.PrefixOwners()
+		w.PDB = buildPDB(topo)
+		return nil
+	})
+	if err := g.Wait(); err != nil {
 		return nil, err
 	}
 
 	w.buildLGServer()
 	return w, nil
 }
+
+// Scenario returns the name of the scenario this world was built from.
+func (w *World) Scenario() string { return w.cfg.Scenario }
 
 func buildPDB(topo *topology.Topology) *peeringdb.Registry {
 	reg := peeringdb.NewRegistry()

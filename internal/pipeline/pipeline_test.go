@@ -256,3 +256,41 @@ func TestReconstructedFiltersMatchTruth(t *testing.T) {
 		t.Fatalf("%d/%d filters mismatch", mismatched, checked)
 	}
 }
+
+func TestBuildScenarioWorlds(t *testing.T) {
+	// Every registered scenario must build a valid world end to end and
+	// sustain the inference pipeline. The baseline fixture is covered by
+	// every other test; here the add-on scenarios get a full pass each.
+	for _, name := range topology.ScenarioNames() {
+		if name == "baseline" {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := BuildScenarioWorld(name, topology.TestConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+			if w.Scenario() != name {
+				t.Fatalf("Scenario() = %q", w.Scenario())
+			}
+			run, err := w.RunInference(context.Background(), core.DefaultActiveConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.Result.TotalLinks() == 0 {
+				t.Fatal("no links inferred")
+			}
+			if name == "remote-peering" {
+				remotes := 0
+				for _, ms := range w.Topo.RemoteMembers {
+					remotes += len(ms)
+				}
+				if remotes == 0 {
+					t.Fatal("remote-peering world has no remote members")
+				}
+			}
+		})
+	}
+}

@@ -197,15 +197,21 @@ func NewEngine(topo *topology.Topology, cacheCap int) *Engine {
 	n := len(topo.Order)
 	e := &Engine{
 		topo:       topo,
-		idx:        make(map[bgp.ASN]int32, n),
 		asns:       make([]bgp.ASN, n),
 		strips:     make([]bool, n),
 		prefBil:    make([]bool, n),
 		ixpsByName: make(map[string]int16),
 	}
-	for i, asn := range topo.Order {
-		e.idx[asn] = int32(i)
-		e.asns[i] = asn
+	copy(e.asns, topo.Order)
+	if idx := topo.DenseIndex(); idx != nil {
+		// Builder-generated worlds already carry the ASN -> dense-id map
+		// (id == position in Order); share it instead of rebuilding.
+		e.idx = idx
+	} else {
+		e.idx = make(map[bgp.ASN]int32, n)
+		for i, asn := range topo.Order {
+			e.idx[asn] = int32(i)
+		}
 	}
 	for i, asn := range topo.Order {
 		as := topo.ASes[asn]

@@ -81,6 +81,10 @@ func BuildRSRIBs(e *Engine, workers int) map[string]*RSRIB {
 	for _, st := range e.ixps {
 		out[st.info.Name] = &RSRIB{IXP: st.info, Entries: make(map[bgp.Prefix][]RSEntry)}
 	}
+	// RSEntry.Path references the reconstructed route's path for the
+	// RIBs' whole lifetime, so routes come from a never-reset arena the
+	// entries keep alive: slab allocation without a copy.
+	var arena RouteArena
 	e.ForEachTree(workers, func(tr *Tree) {
 		dest := e.topo.ASes[tr.Dest()]
 		if len(dest.Prefixes) == 0 {
@@ -98,7 +102,7 @@ func BuildRSRIBs(e *Engine, workers int) map[string]*RSRIB {
 				if !st.info.StripsCommunities {
 					comms = st.comms[st.slotOf[mi]]
 				}
-				route := tr.RouteFrom(m)
+				route := tr.RouteFromArena(m, &arena)
 				if route == nil {
 					continue
 				}

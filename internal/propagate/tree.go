@@ -101,24 +101,41 @@ func (t *Tree) PathFrom(vantage bgp.ASN) []bgp.ASN {
 
 // RouteFrom returns the best route at the vantage AS, or nil.
 func (t *Tree) RouteFrom(vantage bgp.ASN) *VantageRoute {
+	return t.RouteFromArena(vantage, nil)
+}
+
+// RouteFromArena returns the best route at the vantage AS, or nil,
+// slab-allocating the route and its path from arena when it is non-nil.
+// An arena route is valid only until the arena's next Reset, and its
+// Communities are shared with the engine rather than cloned: callers
+// must treat the whole route as read-only.
+func (t *Tree) RouteFromArena(vantage bgp.ASN, arena *RouteArena) *VantageRoute {
 	vi, ok := t.e.idx[vantage]
 	if !ok || t.hops[vi].class == ClassNone {
 		return nil
 	}
-	return t.reconstruct(vi)
+	return t.reconstruct(vi, arena)
 }
 
 // reconstruct follows via pointers from vi to the destination.
-func (t *Tree) reconstruct(vi int32) *VantageRoute {
+func (t *Tree) reconstruct(vi int32, arena *RouteArena) *VantageRoute {
 	e := t.e
 	h0 := t.hops[vi]
-	r := &VantageRoute{
-		Class:     h0.class,
-		Bilateral: h0.bilateral,
-		Best:      true,
-		// dist counts AS hops to the destination; +2 leaves room for a
-		// non-transparent RS ASN insertion.
-		Path: make([]bgp.ASN, 0, int(h0.dist)+2),
+	var r *VantageRoute
+	if arena != nil {
+		r = arena.newRoute()
+	} else {
+		r = &VantageRoute{}
+	}
+	r.Class = h0.class
+	r.Bilateral = h0.bilateral
+	r.Best = true
+	// dist counts AS hops to the destination; +2 leaves room for a
+	// non-transparent RS ASN insertion.
+	if arena != nil {
+		r.Path = arena.pathSlice(int(h0.dist) + 2)
+	} else {
+		r.Path = make([]bgp.ASN, 0, int(h0.dist)+2)
 	}
 	// Walk the chain. dist strictly decreases along via pointers, so
 	// this terminates. Community survival is tracked inline: communities
@@ -155,7 +172,14 @@ func (t *Tree) reconstruct(vi int32) *VantageRoute {
 		r.ViaIXP = st.info.Name
 		r.RSSetter = e.asns[rsExporter]
 		if !st.info.StripsCommunities && rsSurvives {
-			r.Communities = st.comms[st.slotOf[rsExporter]].Clone()
+			cs := st.comms[st.slotOf[rsExporter]]
+			if arena != nil {
+				// Arena routes are read-only by contract; share the
+				// engine's community set instead of cloning it.
+				r.Communities = cs
+			} else {
+				r.Communities = cs.Clone()
+			}
 		}
 	}
 	return r
@@ -178,7 +202,7 @@ func (t *Tree) AvailableRoutesFrom(vantage bgp.ASN) []*VantageRoute {
 		if sub.class == ClassNone {
 			return
 		}
-		nbRoute := t.reconstruct(nb)
+		nbRoute := t.reconstruct(nb, nil)
 		for _, a := range nbRoute.Path {
 			if a == vantage {
 				return // loop

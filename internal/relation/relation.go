@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"mlpeering/internal/bgp"
+	"mlpeering/internal/paths"
 	"mlpeering/internal/topology"
 )
 
@@ -116,9 +117,23 @@ func (inf *Inference) CustomerCone(asn bgp.ASN) map[bgp.ASN]bool {
 // TransitDegree returns the AS's transit degree.
 func (inf *Inference) TransitDegree(asn bgp.ASN) int { return inf.transitDegree[asn] }
 
-// Infer runs relationship inference over a set of AS paths (each path
-// listed collector-side first, origin last, already loop-free).
-func Infer(paths [][]bgp.ASN) *Inference {
+// InferPaths runs relationship inference over a plain path slice; it
+// interns the paths into a fresh store and delegates to Infer. Repeated
+// paths keep their multiplicity: each occurrence votes, exactly as when
+// the slice is iterated directly.
+func InferPaths(pp [][]bgp.ASN) *Inference {
+	s := paths.NewStore()
+	ids := make([]paths.ID, len(pp))
+	for i, p := range pp {
+		ids[i] = s.Intern(p)
+	}
+	return Infer(paths.NewView(s, ids))
+}
+
+// Infer runs relationship inference over an interned set of AS paths
+// (each path listed collector-side first, origin last, already
+// loop-free).
+func Infer(v paths.View) *Inference {
 	inf := &Inference{
 		rels:          make(map[topology.LinkKey]Rel),
 		transitDegree: make(map[bgp.ASN]int),
@@ -128,8 +143,8 @@ func Infer(paths [][]bgp.ASN) *Inference {
 	// Pass 0: adjacency and transit degrees.
 	adjacent := make(map[topology.LinkKey]bool)
 	transitNbrs := make(map[bgp.ASN]map[bgp.ASN]bool)
-	for _, p := range paths {
-		path := dedupAdjacent(p)
+	for pi := 0; pi < v.Len(); pi++ {
+		path := dedupAdjacent(v.Path(pi))
 		for i := 0; i+1 < len(path); i++ {
 			adjacent[topology.MakeLinkKey(path[i], path[i+1])] = true
 		}
@@ -196,8 +211,8 @@ func Infer(paths [][]bgp.ASN) *Inference {
 			v.ba++
 		}
 	}
-	for _, p := range paths {
-		path := dedupAdjacent(p)
+	for pi := 0; pi < v.Len(); pi++ {
+		path := dedupAdjacent(v.Path(pi))
 		if len(path) < 2 {
 			continue
 		}
@@ -297,6 +312,18 @@ func ratio(a, b int) int {
 }
 
 func dedupAdjacent(path []bgp.ASN) []bgp.ASN {
+	// Interned store paths are already prepending-collapsed; detect that
+	// without allocating.
+	clean := true
+	for i := 1; i < len(path); i++ {
+		if path[i] == path[i-1] {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return path
+	}
 	var out []bgp.ASN
 	for _, a := range path {
 		if len(out) == 0 || out[len(out)-1] != a {

@@ -24,7 +24,7 @@ func TestInferSyntheticChain(t *testing.T) {
 		{1, 2, 20, 200},
 		{2, 1, 10, 100},
 	}
-	inf := Infer(paths)
+	inf := InferPaths(paths)
 
 	if inf.Relationship(1, 2) != RelP2P {
 		t.Fatalf("clique pair: %v", inf.Relationship(1, 2))
@@ -61,7 +61,7 @@ func TestInferHandlesPrependingAndShortPaths(t *testing.T) {
 		{7},                // too short to vote
 		{},
 	}
-	inf := Infer(paths)
+	inf := InferPaths(paths)
 	if inf.Relationship(1, 1) != RelUnknown {
 		t.Fatal("self link")
 	}
@@ -95,7 +95,7 @@ func TestInferAgainstGroundTruth(t *testing.T) {
 	if len(paths) == 0 {
 		t.Fatal("no public paths")
 	}
-	inf := Infer(paths)
+	inf := InferPaths(paths)
 
 	// Score c2p orientation accuracy over links with ground truth.
 	correct, wrong, toP2P := 0, 0, 0
@@ -155,7 +155,7 @@ func TestCliqueRecovery(t *testing.T) {
 			}
 		}
 	})
-	inf := Infer(paths)
+	inf := InferPaths(paths)
 
 	truthT1 := make(map[bgp.ASN]bool)
 	for _, asn := range topo.Order {

@@ -99,6 +99,14 @@ func containsASN(sorted []bgp.ASN, x bgp.ASN) bool {
 	return i < len(sorted) && sorted[i] == x
 }
 
+func removeASN(sorted []bgp.ASN, x bgp.ASN) []bgp.ASN {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x })
+	if i >= len(sorted) || sorted[i] != x {
+		return sorted
+	}
+	return append(sorted[:i], sorted[i+1:]...)
+}
+
 func insertASN(sorted []bgp.ASN, x bgp.ASN) []bgp.ASN {
 	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x })
 	if i < len(sorted) && sorted[i] == x {

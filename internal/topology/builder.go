@@ -1,0 +1,272 @@
+package topology
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/ixp"
+)
+
+// Builder is the world under construction: a dense AS-index
+// representation (ASN → int32 id, one slice-backed record slab) that
+// scenario stages transform. Stages mutate the builder; Finalize
+// materializes the immutable Topology every downstream layer consumes.
+//
+// Record pointers returned by AS/At are transient: they are valid until
+// the next Add (the slab may move). Stages that add ASes must re-fetch.
+type Builder struct {
+	Cfg Config
+
+	rng *rand.Rand
+
+	recs  []AS              // dense AS records; id = allocation order
+	byASN map[bgp.ASN]int32 // ASN -> dense id
+	Order []bgp.ASN         // every ASN; ascending after the allocation stage
+
+	// Tier pools in allocation order, consumed by the attachment and
+	// membership stages.
+	tier1   []bgp.ASN
+	tier2   []bgp.ASN
+	stubs   []bgp.ASN
+	content []bgp.ASN
+
+	// World-level state assembled by stages and moved onto the Topology
+	// at Finalize. Same semantics as the Topology fields of the same
+	// names.
+	IXPs          []*ixp.Info
+	ExportFilters map[string]map[bgp.ASN]ixp.ExportFilter
+	ImportFilters map[string]map[bgp.ASN]ixp.ExportFilter
+	BilateralIXP  map[LinkKey][]string
+	Feeders       []Feeder
+	ValidationLGs []LGHost
+	MemberLGs     map[string][]LGHost
+	PrefixRegions map[bgp.Prefix]ixp.Region
+	MemberComms   map[string]map[bgp.ASN]bgp.Communities
+	RemoteMembers map[string][]bgp.ASN
+
+	nextPrefix uint32
+}
+
+// NewBuilder returns an empty builder seeded from cfg.
+func NewBuilder(cfg Config) *Builder {
+	return &Builder{
+		Cfg:           cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		byASN:         make(map[bgp.ASN]int32),
+		ExportFilters: make(map[string]map[bgp.ASN]ixp.ExportFilter),
+		ImportFilters: make(map[string]map[bgp.ASN]ixp.ExportFilter),
+		BilateralIXP:  make(map[LinkKey][]string),
+		MemberLGs:     make(map[string][]LGHost),
+		PrefixRegions: make(map[bgp.Prefix]ixp.Region),
+		nextPrefix:    0x14000000, // 20.0.0.0
+	}
+}
+
+// RNG returns the main generation stream. Baseline stages share it;
+// scenario add-on stages must use StageRNG instead so the baseline
+// world is reproduced bit-for-bit regardless of which add-ons run.
+func (b *Builder) RNG() *rand.Rand { return b.rng }
+
+// StageRNG derives an independent, deterministic random stream for a
+// named add-on stage.
+func (b *Builder) StageRNG(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(b.Cfg.Seed ^ int64(h.Sum64())))
+}
+
+// Len returns the number of ASes allocated so far.
+func (b *Builder) Len() int { return len(b.recs) }
+
+// ID returns the dense id of asn.
+func (b *Builder) ID(asn bgp.ASN) (int32, bool) {
+	i, ok := b.byASN[asn]
+	return i, ok
+}
+
+// At returns the record with dense id i. Transient: valid until the
+// next Add.
+func (b *Builder) At(i int32) *AS { return &b.recs[i] }
+
+// AS returns the record for asn, or nil. Transient: valid until the
+// next Add.
+func (b *Builder) AS(asn bgp.ASN) *AS {
+	i, ok := b.byASN[asn]
+	if !ok {
+		return nil
+	}
+	return &b.recs[i]
+}
+
+// Add appends a new AS record and returns its dense id.
+func (b *Builder) Add(as AS) int32 {
+	id := int32(len(b.recs))
+	b.recs = append(b.recs, as)
+	b.byASN[as.ASN] = id
+	b.Order = append(b.Order, as.ASN)
+	return id
+}
+
+// IXPByName returns the IXP under construction with the given name, or
+// nil.
+func (b *Builder) IXPByName(name string) *ixp.Info {
+	for _, x := range b.IXPs {
+		if x.Name == name {
+			return x
+		}
+	}
+	return nil
+}
+
+// Link records a customer→provider transit edge (both directions).
+func (b *Builder) Link(customer, provider bgp.ASN) {
+	c, p := b.AS(customer), b.AS(provider)
+	c.Providers = insertASN(c.Providers, provider)
+	p.Customers = insertASN(p.Customers, customer)
+}
+
+// Peer records a bilateral p2p edge (both directions).
+func (b *Builder) Peer(x, y bgp.ASN) {
+	if x == y {
+		return
+	}
+	a, c := b.AS(x), b.AS(y)
+	a.Peers = insertASN(a.Peers, y)
+	c.Peers = insertASN(c.Peers, x)
+}
+
+// customerCone walks customer edges from asn (asn included), the
+// builder-side equivalent of Topology.CustomerCone.
+func (b *Builder) customerCone(asn bgp.ASN) map[bgp.ASN]bool {
+	cone := make(map[bgp.ASN]bool)
+	var walk func(a bgp.ASN)
+	walk = func(a bgp.ASN) {
+		if cone[a] {
+			return
+		}
+		cone[a] = true
+		if as := b.AS(a); as != nil {
+			for _, c := range as.Customers {
+				walk(c)
+			}
+		}
+	}
+	walk(asn)
+	return cone
+}
+
+// exportFilterOf returns the export filter of member at the named IXP.
+func (b *Builder) exportFilterOf(ixpName string, member bgp.ASN) (ixp.ExportFilter, bool) {
+	m, ok := b.ExportFilters[ixpName]
+	if !ok {
+		return ixp.ExportFilter{}, false
+	}
+	f, ok := m[member]
+	return f, ok
+}
+
+// usedASNs tracks allocated ASNs including the fixed RS ASNs.
+func (b *Builder) usedASNs() map[bgp.ASN]bool {
+	used := make(map[bgp.ASN]bool, len(b.recs)+len(b.Cfg.Profiles))
+	for i := range b.recs {
+		used[b.recs[i].ASN] = true
+	}
+	for _, p := range b.Cfg.Profiles {
+		used[p.RSASN] = true
+	}
+	return used
+}
+
+// allocPrefix hands out the next disjoint prefix block and records its
+// serving region.
+func (b *Builder) allocPrefix(bits int, region ixp.Region) bgp.Prefix {
+	addr := netip.AddrFrom4([4]byte{
+		byte(b.nextPrefix >> 24), byte(b.nextPrefix >> 16),
+		byte(b.nextPrefix >> 8), byte(b.nextPrefix),
+	})
+	b.nextPrefix += 1024 // always step a /22 block to keep prefixes disjoint
+	p := bgp.PrefixFrom(addr, bits)
+	b.PrefixRegions[p] = region
+	return p
+}
+
+// weightedSample draws k distinct items from pool proportionally to
+// weights, consuming the given random stream.
+func weightedSample(rng *rand.Rand, pool []bgp.ASN, weights []float64, k int) []bgp.ASN {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	idx := make([]int, len(pool))
+	for i := range idx {
+		idx[i] = i
+	}
+	w := append([]float64(nil), weights...)
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	out := make([]bgp.ASN, 0, k)
+	for len(out) < k && total > 1e-12 {
+		x := rng.Float64() * total
+		for j, i := range idx {
+			x -= w[j]
+			if x <= 0 && w[j] > 0 {
+				out = append(out, pool[i])
+				total -= w[j]
+				// Swap-remove.
+				last := len(idx) - 1
+				idx[j], idx[last] = idx[last], idx[j]
+				w[j], w[last] = w[last], w[j]
+				idx = idx[:last]
+				w = w[:last]
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Finalize materializes the Topology: the record slab is re-packed in
+// ascending-ASN order so that dense id == position in Order, the map
+// view is built over it, and the world is validated.
+func (b *Builder) Finalize() (*Topology, error) {
+	order := append([]bgp.ASN(nil), b.Order...)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	recs := make([]AS, len(order))
+	index := make(map[bgp.ASN]int32, len(order))
+	for i, asn := range order {
+		id, ok := b.byASN[asn]
+		if !ok {
+			return nil, fmt.Errorf("topology: ASN %s in order but never allocated", asn)
+		}
+		recs[i] = b.recs[id]
+		index[asn] = int32(i)
+	}
+	t := &Topology{
+		Order:         order,
+		recs:          recs,
+		index:         index,
+		ASes:          make(map[bgp.ASN]*AS, len(recs)),
+		IXPs:          b.IXPs,
+		ExportFilters: b.ExportFilters,
+		ImportFilters: b.ImportFilters,
+		BilateralIXP:  b.BilateralIXP,
+		Feeders:       b.Feeders,
+		ValidationLGs: b.ValidationLGs,
+		MemberLGs:     b.MemberLGs,
+		PrefixRegions: b.PrefixRegions,
+		MemberComms:   b.MemberComms,
+		RemoteMembers: b.RemoteMembers,
+	}
+	for i := range recs {
+		t.ASes[recs[i].ASN] = &recs[i]
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

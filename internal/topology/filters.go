@@ -25,8 +25,8 @@ func openBehaveProb(p peeringdb.Policy) float64 {
 	}
 }
 
-func (g *generator) generateFilters() {
-	for _, info := range g.t.IXPs {
+func (b *Builder) generateFilters() {
+	for _, info := range b.IXPs {
 		exp := make(map[bgp.ASN]ixp.ExportFilter, len(info.RSMembers))
 		imp := make(map[bgp.ASN]ixp.ExportFilter, len(info.RSMembers))
 		members := info.SortedRSMembers()
@@ -36,18 +36,18 @@ func (g *generator) generateFilters() {
 		}
 
 		for _, m := range members {
-			as := g.t.ASes[m]
+			as := b.AS(m)
 			var ef ixp.ExportFilter
-			if g.rng.Float64() < openBehaveProb(as.Policy) {
-				ef = g.openExportFilter(info, m, members, memberSet)
+			if b.rng.Float64() < openBehaveProb(as.Policy) {
+				ef = b.openExportFilter(info, m, members, memberSet)
 			} else {
-				ef = g.closedExportFilter(m, members)
+				ef = b.closedExportFilter(m, members)
 			}
 			exp[m] = ef
-			imp[m] = g.importFromExport(ef)
+			imp[m] = b.importFromExport(ef)
 		}
-		g.t.ExportFilters[info.Name] = exp
-		g.t.ImportFilters[info.Name] = imp
+		b.ExportFilters[info.Name] = exp
+		b.ImportFilters[info.Name] = imp
 	}
 }
 
@@ -56,15 +56,15 @@ func (g *generator) generateFilters() {
 // customer cone (one does not need route-server routes toward one's own
 // downstream), plus content networks reached over preferred private
 // interconnects, plus a little noise.
-func (g *generator) openExportFilter(info *ixp.Info, m bgp.ASN, members []bgp.ASN, memberSet map[bgp.ASN]bool) ixp.ExportFilter {
-	as := g.t.ASes[m]
+func (b *Builder) openExportFilter(info *ixp.Info, m bgp.ASN, members []bgp.ASN, memberSet map[bgp.ASN]bool) ixp.ExportFilter {
+	as := b.AS(m)
 	var excludes []bgp.ASN
 
 	// Customer-cone exclusions: direct customers excluded rarely (the
 	// paper found only 12% of EXCLUDEs are provider-blocks-customer),
 	// deeper cone members more often.
 	if as.Tier != TierStub {
-		cone := g.t.CustomerCone(m)
+		cone := b.customerCone(m)
 		for _, other := range members {
 			if other == m || !cone[other] {
 				continue
@@ -74,7 +74,7 @@ func (g *generator) openExportFilter(info *ixp.Info, m bgp.ASN, members []bgp.AS
 			if direct {
 				p = 0.15
 			}
-			if g.rng.Float64() < p {
+			if b.rng.Float64() < p {
 				excludes = append(excludes, other)
 			}
 		}
@@ -83,18 +83,18 @@ func (g *generator) openExportFilter(info *ixp.Info, m bgp.ASN, members []bgp.AS
 	// Private-interconnect exclusions: members that peer bilaterally
 	// with a content network prefer the direct path and repel the RS
 	// routes (the Google/Akamai behaviour of §5.5).
-	for _, c := range g.content {
+	for _, c := range b.content {
 		if c == m || !memberSet[c] {
 			continue
 		}
-		if as.HasPeer(c) && g.rng.Float64() < 0.75 {
+		if as.HasPeer(c) && b.rng.Float64() < 0.75 {
 			excludes = append(excludes, c)
 		}
 	}
 
 	// Background noise: occasional unexplained exclusions.
-	if g.rng.Float64() < 0.08 && len(members) > 2 {
-		other := members[g.rng.Intn(len(members))]
+	if b.rng.Float64() < 0.08 && len(members) > 2 {
+		other := members[b.rng.Intn(len(members))]
 		if other != m {
 			excludes = append(excludes, other)
 		}
@@ -105,16 +105,16 @@ func (g *generator) openExportFilter(info *ixp.Info, m bgp.ASN, members []bgp.AS
 
 // closedExportFilter builds a NONE+INCLUDE policy with a short include
 // list (the bottom cluster of Fig. 11).
-func (g *generator) closedExportFilter(m bgp.ASN, members []bgp.ASN) ixp.ExportFilter {
+func (b *Builder) closedExportFilter(m bgp.ASN, members []bgp.ASN) ixp.ExportFilter {
 	maxInc := len(members) / 12
 	if maxInc < 2 {
 		maxInc = 2
 	}
-	n := 1 + g.rng.Intn(maxInc)
+	n := 1 + b.rng.Intn(maxInc)
 	var includes []bgp.ASN
 	seen := map[bgp.ASN]bool{m: true}
 	for len(includes) < n && len(seen) < len(members) {
-		cand := members[g.rng.Intn(len(members))]
+		cand := members[b.rng.Intn(len(members))]
 		if seen[cand] {
 			continue
 		}
@@ -122,12 +122,12 @@ func (g *generator) closedExportFilter(m bgp.ASN, members []bgp.ASN) ixp.ExportF
 		// Prefer content networks and same-region members as peering
 		// targets for selective networks.
 		w := 0.35
-		if g.t.ASes[cand].Content {
+		if b.AS(cand).Content {
 			w = 0.9
-		} else if g.t.ASes[cand].Region == g.t.ASes[m].Region {
+		} else if b.AS(cand).Region == b.AS(m).Region {
 			w = 0.6
 		}
-		if g.rng.Float64() < w {
+		if b.rng.Float64() < w {
 			includes = append(includes, cand)
 		}
 	}
@@ -137,13 +137,13 @@ func (g *generator) closedExportFilter(m bgp.ASN, members []bgp.ASN) ixp.ExportF
 // importFromExport derives the member's import filter. Per the §4.4
 // measurement, imports are never more restrictive and about half are
 // strictly more permissive.
-func (g *generator) importFromExport(ef ixp.ExportFilter) ixp.ExportFilter {
-	relax := g.rng.Float64() < 0.5
+func (b *Builder) importFromExport(ef ixp.ExportFilter) ixp.ExportFilter {
+	relax := b.rng.Float64() < 0.5
 	switch ef.Mode {
 	case ixp.ModeAllExcept:
 		var keep []bgp.ASN
 		for _, p := range ef.PeerList() {
-			if relax && g.rng.Float64() < 0.5 {
+			if relax && b.rng.Float64() < 0.5 {
 				continue // accept routes from an AS we do not send to
 			}
 			keep = append(keep, p)
@@ -154,7 +154,7 @@ func (g *generator) importFromExport(ef ixp.ExportFilter) ixp.ExportFilter {
 		if relax {
 			// A NONE+INCLUDE member that accepts from everyone is
 			// modeled as an open import.
-			if g.rng.Float64() < 0.3 {
+			if b.rng.Float64() < 0.3 {
 				return ixp.OpenFilter()
 			}
 		}
@@ -165,8 +165,8 @@ func (g *generator) importFromExport(ef ixp.ExportFilter) ixp.ExportFilter {
 // addBilateralIXPPeering creates bilateral sessions across the IXP
 // fabrics: the links the paper's method cannot see (§5.8). Non-RS
 // members rely on them entirely; some RS members hold them in parallel.
-func (g *generator) addBilateralIXPPeering() {
-	for _, info := range g.t.IXPs {
+func (b *Builder) addBilateralIXPPeering() {
+	for _, info := range b.IXPs {
 		rsSet := make(map[bgp.ASN]bool, len(info.RSMembers))
 		for _, m := range info.RSMembers {
 			rsSet[m] = true
@@ -179,26 +179,26 @@ func (g *generator) addBilateralIXPPeering() {
 		}
 		sort.Slice(nonRS, func(i, j int) bool { return nonRS[i] < nonRS[j] })
 
-		addBilateral := func(a, b bgp.ASN) {
-			g.peer(a, b)
-			key := MakeLinkKey(a, b)
-			g.t.BilateralIXP[key] = append(g.t.BilateralIXP[key], info.Name)
+		addBilateral := func(x, y bgp.ASN) {
+			b.Peer(x, y)
+			key := MakeLinkKey(x, y)
+			b.BilateralIXP[key] = append(b.BilateralIXP[key], info.Name)
 		}
 
 		// Bilateral-only members peer selectively with each other
 		// (density well below the multilateral 80-95%, per §5.4).
-		for i, a := range nonRS {
-			for _, b := range nonRS[i+1:] {
-				if g.rng.Float64() < 0.30 {
-					addBilateral(a, b)
+		for i, x := range nonRS {
+			for _, y := range nonRS[i+1:] {
+				if b.rng.Float64() < 0.30 {
+					addBilateral(x, y)
 				}
 			}
 		}
 		// ... and with a slice of the RS members.
-		for _, a := range nonRS {
-			for _, b := range info.RSMembers {
-				if g.rng.Float64() < 0.10 {
-					addBilateral(a, b)
+		for _, x := range nonRS {
+			for _, y := range info.RSMembers {
+				if b.rng.Float64() < 0.10 {
+					addBilateral(x, y)
 				}
 			}
 		}
@@ -208,24 +208,24 @@ func (g *generator) addBilateralIXPPeering() {
 		members := info.SortedRSMembers()
 		pairs := len(members) / 4
 		for i := 0; i < pairs; i++ {
-			a := members[g.rng.Intn(len(members))]
-			b := members[g.rng.Intn(len(members))]
-			if a != b {
-				addBilateral(a, b)
+			x := members[b.rng.Intn(len(members))]
+			y := members[b.rng.Intn(len(members))]
+			if x != y {
+				addBilateral(x, y)
 			}
 		}
 	}
 }
 
 // pickFeeders selects the collector vantage points.
-func (g *generator) pickFeeders() {
+func (b *Builder) pickFeeders() {
 	seen := make(map[bgp.ASN]bool)
 	addFeeder := func(asn bgp.ASN, kind FeedKind) {
 		if seen[asn] {
 			return
 		}
 		seen[asn] = true
-		g.t.Feeders = append(g.t.Feeders, Feeder{ASN: asn, Kind: kind})
+		b.Feeders = append(b.Feeders, Feeder{ASN: asn, Kind: kind})
 	}
 
 	// Per-IXP RS feeders: RS members (transit preferred) contributing
@@ -233,14 +233,14 @@ func (g *generator) pickFeeders() {
 	// PassiveOpenness, which is what bounds passive coverage (Table 2's
 	// "Pasv" column).
 	coverage := make(map[string][]bgp.ASN) // per IXP: members visible passively
-	for _, prof := range g.cfg.Profiles {
-		info := g.t.IXPByName(prof.Name)
+	for _, prof := range b.Cfg.Profiles {
+		info := b.IXPByName(prof.Name)
 		if info == nil {
 			continue
 		}
 		members := info.SortedRSMembers()
 		for _, m := range members {
-			if g.rng.Float64() < prof.PassiveOpenness {
+			if b.rng.Float64() < prof.PassiveOpenness {
 				coverage[prof.Name] = append(coverage[prof.Name], m)
 			}
 		}
@@ -251,21 +251,21 @@ func (g *generator) pickFeeders() {
 		// feed Route Views / RIS.
 		var cands []bgp.ASN
 		for _, m := range members {
-			if g.t.ASes[m].Tier == Tier2 && !g.t.ASes[m].Content {
+			if b.AS(m).Tier == Tier2 && !b.AS(m).Content {
 				cands = append(cands, m)
 			}
 		}
 		if len(cands) == 0 {
 			cands = members
 		}
-		g.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		b.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
 		n := prof.RSFeeders
 		if n > len(cands) {
 			n = len(cands)
 		}
 		for i := 0; i < n; i++ {
 			m := cands[i]
-			g.t.ASes[m].StripsCommunities = false
+			b.AS(m).StripsCommunities = false
 			addFeeder(m, FeedFull)
 		}
 	}
@@ -275,19 +275,19 @@ func (g *generator) pickFeeders() {
 	// for another IXP, which would otherwise leak their open local view
 	// into the archives.
 	throttleAll := func() {
-		for _, f := range g.t.Feeders {
+		for _, f := range b.Feeders {
 			if f.Kind != FeedFull {
 				continue
 			}
-			for _, prof := range g.cfg.Profiles {
-				info := g.t.IXPByName(prof.Name)
+			for _, prof := range b.Cfg.Profiles {
+				info := b.IXPByName(prof.Name)
 				if info == nil || !info.IsRSMember(f.ASN) {
 					continue
 				}
 				if prof.PassiveOpenness >= 0.95 {
 					continue
 				}
-				g.throttleFeederImport(info, f.ASN, coverage[prof.Name])
+				b.throttleFeederImport(info, f.ASN, coverage[prof.Name])
 			}
 		}
 	}
@@ -299,35 +299,35 @@ func (g *generator) pickFeeders() {
 	// would leak their full route-server view and void the per-IXP
 	// passive coverage limits of Table 2.
 	rsMemberAnywhere := make(map[bgp.ASN]bool)
-	for _, info := range g.t.IXPs {
+	for _, info := range b.IXPs {
 		for _, m := range info.RSMembers {
 			rsMemberAnywhere[m] = true
 		}
 	}
-	pool := append(append([]bgp.ASN(nil), g.tier1...), g.tier2...)
-	g.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	pool := append(append([]bgp.ASN(nil), b.tier1...), b.tier2...)
+	b.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
 	added := 0
 	for _, asn := range pool {
-		if added >= g.cfg.ExtraFeeders {
+		if added >= b.Cfg.ExtraFeeders {
 			break
 		}
 		if seen[asn] {
 			continue
 		}
 		kind := FeedCustomerOnly
-		if !rsMemberAnywhere[asn] && g.rng.Float64() < 0.25 {
+		if !rsMemberAnywhere[asn] && b.rng.Float64() < 0.25 {
 			kind = FeedFull
 		}
 		addFeeder(asn, kind)
 		added++
 	}
-	sort.Slice(g.t.Feeders, func(i, j int) bool { return g.t.Feeders[i].ASN < g.t.Feeders[j].ASN })
+	sort.Slice(b.Feeders, func(i, j int) bool { return b.Feeders[i].ASN < b.Feeders[j].ASN })
 }
 
 // throttleFeederImport replaces the feeder's import (and export, to
 // respect the §4.4 invariant) with a NONE+INCLUDE pair sized to the
 // coverage list.
-func (g *generator) throttleFeederImport(info *ixp.Info, feeder bgp.ASN, coverage []bgp.ASN) {
+func (b *Builder) throttleFeederImport(info *ixp.Info, feeder bgp.ASN, coverage []bgp.ASN) {
 	var inc []bgp.ASN
 	for _, m := range coverage {
 		if m != feeder {
@@ -338,28 +338,28 @@ func (g *generator) throttleFeederImport(info *ixp.Info, feeder bgp.ASN, coverag
 	// Export ⊆ import: drop ~20% from the export list.
 	var expList []bgp.ASN
 	for _, m := range inc {
-		if g.rng.Float64() < 0.8 {
+		if b.rng.Float64() < 0.8 {
 			expList = append(expList, m)
 		}
 	}
-	g.t.ImportFilters[info.Name][feeder] = impF
-	g.t.ExportFilters[info.Name][feeder] = ixp.NewExportFilter(ixp.ModeNoneExcept, expList...)
+	b.ImportFilters[info.Name][feeder] = impF
+	b.ExportFilters[info.Name][feeder] = ixp.NewExportFilter(ixp.ModeNoneExcept, expList...)
 }
 
 // pickLookingGlasses selects member LGs per IXP (active data sources)
 // and the validation LG population (§5.1).
-func (g *generator) pickLookingGlasses() {
+func (b *Builder) pickLookingGlasses() {
 	usedLG := make(map[bgp.ASN]bool)
 
 	// Member LGs: RS members whose LG exposes the RS feed; used for
 	// active collection at IXPs without their own LG.
-	for _, prof := range g.cfg.Profiles {
-		info := g.t.IXPByName(prof.Name)
+	for _, prof := range b.Cfg.Profiles {
+		info := b.IXPByName(prof.Name)
 		if info == nil {
 			continue
 		}
 		members := info.SortedRSMembers()
-		g.rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+		b.rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
 		n := prof.MemberLGs
 		for _, m := range members {
 			if n == 0 {
@@ -369,8 +369,8 @@ func (g *generator) pickLookingGlasses() {
 				continue
 			}
 			usedLG[m] = true
-			g.t.MemberLGs[prof.Name] = append(g.t.MemberLGs[prof.Name],
-				LGHost{ASN: m, AllPaths: g.rng.Float64() < 0.85})
+			b.MemberLGs[prof.Name] = append(b.MemberLGs[prof.Name],
+				LGHost{ASN: m, AllPaths: b.rng.Float64() < 0.85})
 			n--
 		}
 	}
@@ -380,13 +380,13 @@ func (g *generator) pickLookingGlasses() {
 	// the pool; a quarter are hosted by member customers.
 	var memberPool, customerPool []bgp.ASN
 	seen := make(map[bgp.ASN]bool)
-	for _, info := range g.t.IXPs {
+	for _, info := range b.IXPs {
 		for _, m := range info.RSMembers {
 			if !seen[m] {
 				seen[m] = true
 				memberPool = append(memberPool, m)
 			}
-			for _, c := range g.t.ASes[m].Customers {
+			for _, c := range b.AS(m).Customers {
 				if !seen[c] {
 					seen[c] = true
 					customerPool = append(customerPool, c)
@@ -396,26 +396,26 @@ func (g *generator) pickLookingGlasses() {
 	}
 	sort.Slice(memberPool, func(i, j int) bool { return memberPool[i] < memberPool[j] })
 	sort.Slice(customerPool, func(i, j int) bool { return customerPool[i] < customerPool[j] })
-	g.rng.Shuffle(len(memberPool), func(i, j int) { memberPool[i], memberPool[j] = memberPool[j], memberPool[i] })
-	g.rng.Shuffle(len(customerPool), func(i, j int) { customerPool[i], customerPool[j] = customerPool[j], customerPool[i] })
+	b.rng.Shuffle(len(memberPool), func(i, j int) { memberPool[i], memberPool[j] = memberPool[j], memberPool[i] })
+	b.rng.Shuffle(len(customerPool), func(i, j int) { customerPool[i], customerPool[j] = customerPool[j], customerPool[i] })
 	take := func(pool []bgp.ASN, n int) {
 		for _, asn := range pool {
-			if n == 0 || len(g.t.ValidationLGs) >= g.cfg.ValidationLGs {
+			if n == 0 || len(b.ValidationLGs) >= b.Cfg.ValidationLGs {
 				return
 			}
 			if usedLG[asn] {
 				continue
 			}
 			usedLG[asn] = true
-			host := LGHost{ASN: asn, AllPaths: g.rng.Float64() >= g.cfg.BestPathLGFrac}
-			if g.rng.Float64() < g.cfg.PrefersBilateralFrac {
-				g.t.ASes[asn].PrefersBilateral = true
+			host := LGHost{ASN: asn, AllPaths: b.rng.Float64() >= b.Cfg.BestPathLGFrac}
+			if b.rng.Float64() < b.Cfg.PrefersBilateralFrac {
+				b.AS(asn).PrefersBilateral = true
 			}
-			g.t.ValidationLGs = append(g.t.ValidationLGs, host)
+			b.ValidationLGs = append(b.ValidationLGs, host)
 			n--
 		}
 	}
-	take(memberPool, g.cfg.ValidationLGs*3/4)
-	take(customerPool, g.cfg.ValidationLGs)
-	take(memberPool, g.cfg.ValidationLGs) // top up if customers ran out
+	take(memberPool, b.Cfg.ValidationLGs*3/4)
+	take(customerPool, b.Cfg.ValidationLGs)
+	take(memberPool, b.Cfg.ValidationLGs) // top up if customers ran out
 }

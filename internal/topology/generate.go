@@ -2,8 +2,6 @@ package topology
 
 import (
 	"fmt"
-	"math/rand"
-	"net/netip"
 	"sort"
 
 	"mlpeering/internal/bgp"
@@ -11,73 +9,25 @@ import (
 	"mlpeering/internal/peeringdb"
 )
 
-// Generate builds a deterministic synthetic world from cfg.
+// Generate builds a deterministic synthetic world from cfg, running the
+// scenario named by cfg.Scenario (the paper's baseline world when
+// empty).
 func Generate(cfg Config) (*Topology, error) {
-	if cfg.Scale <= 0 {
-		return nil, fmt.Errorf("topology: scale must be positive, got %v", cfg.Scale)
+	sc, ok := LookupScenario(cfg.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("topology: unknown scenario %q (have %v)", cfg.Scenario, ScenarioNames())
 	}
-	if cfg.Profiles == nil {
-		cfg.Profiles = PaperIXPProfiles()
-	}
-	g := &generator{
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-		t: &Topology{
-			ASes:          make(map[bgp.ASN]*AS),
-			ExportFilters: make(map[string]map[bgp.ASN]ixp.ExportFilter),
-			ImportFilters: make(map[string]map[bgp.ASN]ixp.ExportFilter),
-			BilateralIXP:  make(map[LinkKey][]string),
-			MemberLGs:     make(map[string][]LGHost),
-			PrefixRegions: make(map[bgp.Prefix]ixp.Region),
-		},
-		nextPrefix: 0x14000000, // 20.0.0.0
-	}
-	g.allocateASes()
-	g.buildHierarchy()
-	g.addSiblings()
-	g.addPrivatePeering()
-	g.assignPrefixes()
-	g.buildIXPs()
-	g.generateFilters()
-	g.addBilateralIXPPeering()
-	g.pickFeeders()
-	g.pickLookingGlasses()
-	if err := g.finalizeMemberData(); err != nil {
-		return nil, err
-	}
-	if err := g.t.Validate(); err != nil {
-		return nil, err
-	}
-	return g.t, nil
+	return sc.Generate(cfg)
 }
 
-type generator struct {
-	cfg Config
-	rng *rand.Rand
-	t   *Topology
+// --- Baseline stages --------------------------------------------------
+//
+// Each stage is a pure transform over the Builder's dense world. The
+// baseline stage list reproduces the paper's world; scenarios splice
+// additional stages in between (see scenarios.go).
 
-	tier1   []bgp.ASN
-	tier2   []bgp.ASN
-	stubs   []bgp.ASN
-	content []bgp.ASN
-
-	nextPrefix uint32
-}
-
-// asnUsed tracks allocated ASNs including the fixed RS ASNs.
-func (g *generator) usedASNs() map[bgp.ASN]bool {
-	used := make(map[bgp.ASN]bool, len(g.t.ASes)+len(g.cfg.Profiles))
-	for a := range g.t.ASes {
-		used[a] = true
-	}
-	for _, p := range g.cfg.Profiles {
-		used[p.RSASN] = true
-	}
-	return used
-}
-
-func (g *generator) allocateASes() {
-	cfg := g.cfg
+func (b *Builder) allocateASes() {
+	cfg := b.Cfg
 	n := cfg.NumASes
 	if n == 0 {
 		// Pool sized so that IXP membership targets are satisfiable
@@ -88,7 +38,7 @@ func (g *generator) allocateASes() {
 		}
 		n = slots*3/2 + 400
 	}
-	used := g.usedASNs()
+	used := b.usedASNs()
 	next := bgp.ASN(1000)
 	next32 := bgp.ASN(196800)
 	alloc := func(want32 bool) bgp.ASN {
@@ -96,10 +46,10 @@ func (g *generator) allocateASes() {
 			var a bgp.ASN
 			if want32 {
 				a = next32
-				next32 += bgp.ASN(1 + g.rng.Intn(23))
+				next32 += bgp.ASN(1 + b.rng.Intn(23))
 			} else {
 				a = next
-				next += bgp.ASN(1 + g.rng.Intn(29))
+				next += bgp.ASN(1 + b.rng.Intn(29))
 				if next >= bgp.FirstReserved32 {
 					// 16-bit space exhausted at huge scales; spill to 32-bit.
 					want32 = true
@@ -126,7 +76,7 @@ func (g *generator) allocateASes() {
 		for _, rd := range regionDist {
 			total += rd.w
 		}
-		x := g.rng.Intn(total)
+		x := b.rng.Intn(total)
 		for _, rd := range regionDist {
 			if x < rd.w {
 				return rd.r
@@ -138,8 +88,8 @@ func (g *generator) allocateASes() {
 
 	numT2 := int(float64(n) * cfg.TransitFrac)
 	for i := 0; i < n; i++ {
-		want32 := g.rng.Float64() < 0.07 && i >= cfg.NumTier1
-		as := &AS{ASN: alloc(want32)}
+		want32 := b.rng.Float64() < 0.07 && i >= cfg.NumTier1
+		as := AS{ASN: alloc(want32)}
 		switch {
 		case i < cfg.NumTier1:
 			as.Tier = Tier1
@@ -148,23 +98,23 @@ func (g *generator) allocateASes() {
 				as.Region = ixp.RegionNorthAmerica
 			}
 			as.Scope = peeringdb.ScopeGlobal
-			if g.rng.Float64() < 0.6 {
+			if b.rng.Float64() < 0.6 {
 				as.Policy = peeringdb.PolicySelective
 			} else {
 				as.Policy = peeringdb.PolicyRestrictive
 			}
-			g.tier1 = append(g.tier1, as.ASN)
+			b.tier1 = append(b.tier1, as.ASN)
 		case i < cfg.NumTier1+cfg.NumContent:
 			as.Tier = Tier2
 			as.Content = true
 			as.Region = ixp.RegionWestEU
 			as.Scope = peeringdb.ScopeGlobal
 			as.Policy = peeringdb.PolicyOpen
-			g.content = append(g.content, as.ASN)
+			b.content = append(b.content, as.ASN)
 		case i < cfg.NumTier1+cfg.NumContent+numT2:
 			as.Tier = Tier2
 			as.Region = pickRegion()
-			switch r := g.rng.Float64(); {
+			switch r := b.rng.Float64(); {
 			case r < 0.25:
 				as.Scope = peeringdb.ScopeGlobal
 			case r < 0.65 && as.Region.IsEurope():
@@ -172,7 +122,7 @@ func (g *generator) allocateASes() {
 			default:
 				as.Scope = peeringdb.ScopeRegional
 			}
-			switch r := g.rng.Float64(); {
+			switch r := b.rng.Float64(); {
 			case r < 0.55:
 				as.Policy = peeringdb.PolicyOpen
 			case r < 0.90:
@@ -180,17 +130,17 @@ func (g *generator) allocateASes() {
 			default:
 				as.Policy = peeringdb.PolicyRestrictive
 			}
-			g.tier2 = append(g.tier2, as.ASN)
+			b.tier2 = append(b.tier2, as.ASN)
 		default:
 			as.Tier = TierStub
 			as.Region = pickRegion()
-			switch r := g.rng.Float64(); {
+			switch r := b.rng.Float64(); {
 			case r < 0.12 && as.Region.IsEurope():
 				as.Scope = peeringdb.ScopeEurope
 			default:
 				as.Scope = peeringdb.ScopeRegional
 			}
-			switch r := g.rng.Float64(); {
+			switch r := b.rng.Float64(); {
 			case r < 0.80:
 				as.Policy = peeringdb.PolicyOpen
 			case r < 0.96:
@@ -198,43 +148,27 @@ func (g *generator) allocateASes() {
 			default:
 				as.Policy = peeringdb.PolicyRestrictive
 			}
-			g.stubs = append(g.stubs, as.ASN)
+			b.stubs = append(b.stubs, as.ASN)
 		}
 		as.Name = fmt.Sprintf("AS%s-%s", as.ASN, as.Region)
-		as.StripsCommunities = g.rng.Float64() < cfg.StripProb
-		as.OmitsDefaultALL = g.rng.Float64() < 0.30
-		g.t.ASes[as.ASN] = as
-		g.t.Order = append(g.t.Order, as.ASN)
+		as.StripsCommunities = b.rng.Float64() < cfg.StripProb
+		as.OmitsDefaultALL = b.rng.Float64() < 0.30
+		b.Add(as)
 	}
-	sort.Slice(g.t.Order, func(i, j int) bool { return g.t.Order[i] < g.t.Order[j] })
+	sort.Slice(b.Order, func(i, j int) bool { return b.Order[i] < b.Order[j] })
 }
 
-func (g *generator) link(customer, provider bgp.ASN) {
-	c, p := g.t.ASes[customer], g.t.ASes[provider]
-	c.Providers = insertASN(c.Providers, provider)
-	p.Customers = insertASN(p.Customers, customer)
-}
-
-func (g *generator) peer(a, b bgp.ASN) {
-	if a == b {
-		return
-	}
-	x, y := g.t.ASes[a], g.t.ASes[b]
-	x.Peers = insertASN(x.Peers, b)
-	y.Peers = insertASN(y.Peers, a)
-}
-
-func (g *generator) buildHierarchy() {
+func (b *Builder) buildHierarchy() {
 	// Tier-1 clique: full mesh of p2p.
-	for i, a := range g.tier1 {
-		for _, b := range g.tier1[i+1:] {
-			g.peer(a, b)
+	for i, a := range b.tier1 {
+		for _, x := range b.tier1[i+1:] {
+			b.Peer(a, x)
 		}
 	}
 	// Tier-2 (incl. content) attach to 1-3 tier-1 providers with
 	// preferential attachment (weight = current customer count + 1).
 	attach := func(asn bgp.ASN, pool []bgp.ASN, k int, regionAffine bool) {
-		as := g.t.ASes[asn]
+		as := b.AS(asn)
 		chosen := make(map[bgp.ASN]bool)
 		for len(chosen) < k && len(chosen) < len(pool) {
 			total := 0.0
@@ -243,8 +177,8 @@ func (g *generator) buildHierarchy() {
 				if chosen[p] || p == asn {
 					continue
 				}
-				w := float64(len(g.t.ASes[p].Customers) + 1)
-				if regionAffine && g.t.ASes[p].Region == as.Region {
+				w := float64(len(b.AS(p).Customers) + 1)
+				if regionAffine && b.AS(p).Region == as.Region {
 					w *= 8
 				}
 				weights[i] = w
@@ -253,101 +187,90 @@ func (g *generator) buildHierarchy() {
 			if total == 0 {
 				break
 			}
-			x := g.rng.Float64() * total
+			x := b.rng.Float64() * total
 			for i, p := range pool {
 				x -= weights[i]
 				if x <= 0 && weights[i] > 0 {
 					chosen[p] = true
-					g.link(asn, p)
+					b.Link(asn, p)
 					break
 				}
 			}
 		}
 	}
-	for _, asn := range g.tier2 {
-		attach(asn, g.tier1, 1+g.rng.Intn(3), false)
+	for _, asn := range b.tier2 {
+		attach(asn, b.tier1, 1+b.rng.Intn(3), false)
 	}
-	for _, asn := range g.content {
-		attach(asn, g.tier1, 2+g.rng.Intn(2), false)
+	for _, asn := range b.content {
+		attach(asn, b.tier1, 2+b.rng.Intn(2), false)
 	}
-	for _, asn := range g.stubs {
+	for _, asn := range b.stubs {
 		// Stubs are predominantly multihomed to same-region transits;
 		// several of a stub's providers meeting at the regional IXP is
 		// what makes its prefixes multi-advertised there (Fig. 5).
-		attach(asn, g.tier2, 2+g.rng.Intn(2), true)
+		attach(asn, b.tier2, 2+b.rng.Intn(2), true)
 	}
 }
 
-func (g *generator) addSiblings() {
+func (b *Builder) addSiblings() {
 	// ~1% of tier-2s form sibling pairs with a same-region tier-2.
-	n := len(g.tier2) / 100
+	n := len(b.tier2) / 100
 	for i := 0; i < n; i++ {
-		a := g.tier2[g.rng.Intn(len(g.tier2))]
-		b := g.tier2[g.rng.Intn(len(g.tier2))]
-		if a == b || g.t.ASes[a].Region != g.t.ASes[b].Region {
+		a := b.tier2[b.rng.Intn(len(b.tier2))]
+		c := b.tier2[b.rng.Intn(len(b.tier2))]
+		if a == c || b.AS(a).Region != b.AS(c).Region {
 			continue
 		}
-		x, y := g.t.ASes[a], g.t.ASes[b]
-		x.Siblings = insertASN(x.Siblings, b)
+		x, y := b.AS(a), b.AS(c)
+		x.Siblings = insertASN(x.Siblings, c)
 		y.Siblings = insertASN(y.Siblings, a)
 	}
 }
 
-func (g *generator) addPrivatePeering() {
+func (b *Builder) addPrivatePeering() {
 	// Sparse bilateral private peering between same-region tier-2s.
-	for i, a := range g.tier2 {
-		for _, b := range g.tier2[i+1:] {
-			if g.t.ASes[a].Region != g.t.ASes[b].Region {
+	for i, a := range b.tier2 {
+		for _, c := range b.tier2[i+1:] {
+			if b.AS(a).Region != b.AS(c).Region {
 				continue
 			}
-			if g.rng.Float64() < 0.015 {
-				g.peer(a, b)
+			if b.rng.Float64() < 0.015 {
+				b.Peer(a, c)
 			}
 		}
 	}
 	// Content networks peer privately with a slice of the transit tier:
 	// these private interconnects are why content ASes get EXCLUDEd at
 	// route servers (§5.5).
-	for _, c := range g.content {
-		for _, b := range g.tier2 {
-			if g.t.ASes[b].Content {
+	for _, c := range b.content {
+		for _, x := range b.tier2 {
+			if b.AS(x).Content {
 				continue
 			}
-			if g.rng.Float64() < 0.10 {
-				g.peer(c, b)
+			if b.rng.Float64() < 0.10 {
+				b.Peer(c, x)
 			}
 		}
 	}
 }
 
-func (g *generator) allocPrefix(bits int, region ixp.Region) bgp.Prefix {
-	addr := netip.AddrFrom4([4]byte{
-		byte(g.nextPrefix >> 24), byte(g.nextPrefix >> 16),
-		byte(g.nextPrefix >> 8), byte(g.nextPrefix),
-	})
-	g.nextPrefix += 1024 // always step a /22 block to keep prefixes disjoint
-	p := bgp.PrefixFrom(addr, bits)
-	g.t.PrefixRegions[p] = region
-	return p
-}
-
-func (g *generator) assignPrefixes() {
-	for _, asn := range g.t.Order {
-		as := g.t.ASes[asn]
+func (b *Builder) assignPrefixes() {
+	for _, asn := range b.Order {
+		as := b.AS(asn)
 		var n int
 		switch {
 		case as.Content:
-			n = 8 + g.rng.Intn(12)
+			n = 8 + b.rng.Intn(12)
 		case as.Tier == Tier1:
-			n = 10 + g.rng.Intn(14)
+			n = 10 + b.rng.Intn(14)
 		case as.Tier == Tier2:
-			n = 1 + g.rng.Intn(2*g.cfg.MeanPrefixesTransit)
+			n = 1 + b.rng.Intn(2*b.Cfg.MeanPrefixesTransit)
 		default:
-			n = 1 + g.rng.Intn(2*g.cfg.MeanPrefixesStub)
+			n = 1 + b.rng.Intn(2*b.Cfg.MeanPrefixesStub)
 		}
 		for i := 0; i < n; i++ {
 			bits := 24
-			if g.rng.Float64() < 0.3 {
+			if b.rng.Float64() < 0.3 {
 				bits = 22
 			}
 			region := as.Region
@@ -355,18 +278,18 @@ func (g *generator) assignPrefixes() {
 				// Global networks originate prefixes everywhere; this
 				// is what makes "geographically distant" validation
 				// prefixes meaningful.
-				region = ixp.Region(g.rng.Intn(ixp.NumRegions))
+				region = ixp.Region(b.rng.Intn(ixp.NumRegions))
 			}
-			as.Prefixes = append(as.Prefixes, g.allocPrefix(bits, region))
+			as.Prefixes = append(as.Prefixes, b.allocPrefix(bits, region))
 		}
 	}
 }
 
 // eligible returns the membership candidate pool for an IXP region.
-func (g *generator) eligible(region ixp.Region) []bgp.ASN {
+func (b *Builder) eligible(region ixp.Region) []bgp.ASN {
 	var out []bgp.ASN
-	for _, asn := range g.t.Order {
-		as := g.t.ASes[asn]
+	for _, asn := range b.Order {
+		as := b.AS(asn)
 		switch {
 		case as.Content:
 			out = append(out, asn)
@@ -381,17 +304,17 @@ func (g *generator) eligible(region ixp.Region) []bgp.ASN {
 	return out
 }
 
-func (g *generator) buildIXPs() {
-	for _, prof := range g.cfg.Profiles {
-		members := g.cfg.scaled(prof.Members)
-		rsMembers := g.cfg.scaled(prof.RSMembers)
+func (b *Builder) buildIXPs() {
+	for _, prof := range b.Cfg.Profiles {
+		members := b.Cfg.scaled(prof.Members)
+		rsMembers := b.Cfg.scaled(prof.RSMembers)
 		if rsMembers > members {
 			rsMembers = members
 		}
-		pool := g.eligible(prof.Region)
+		pool := b.eligible(prof.Region)
 		weights := make([]float64, len(pool))
 		for i, asn := range pool {
-			as := g.t.ASes[asn]
+			as := b.AS(asn)
 			switch {
 			case as.Content:
 				weights[i] = 40
@@ -413,7 +336,7 @@ func (g *generator) buildIXPs() {
 		// exchange, and both provider and customer announcing the same
 		// customer prefixes to the route server is what produces the
 		// multi-advertiser prefixes of Fig. 5.
-		memberList := g.weightedSample(pool, weights, members*3/5)
+		memberList := weightedSample(b.rng, pool, weights, members*3/5)
 		selected := make(map[bgp.ASN]bool, len(memberList))
 		for _, m := range memberList {
 			selected[m] = true
@@ -425,7 +348,7 @@ func (g *generator) buildIXPs() {
 				continue
 			}
 			w := weights[i]
-			for _, p := range g.t.ASes[asn].Providers {
+			for _, p := range b.AS(asn).Providers {
 				if selected[p] {
 					// Weight accumulates per co-located provider:
 					// multihomed customers of several members are the
@@ -436,7 +359,7 @@ func (g *generator) buildIXPs() {
 			pool2 = append(pool2, asn)
 			weights2 = append(weights2, w)
 		}
-		memberList = append(memberList, g.weightedSample(pool2, weights2, members-len(memberList))...)
+		memberList = append(memberList, weightedSample(b.rng, pool2, weights2, members-len(memberList))...)
 
 		// RS membership: weighted by actual peering policy (Fig. 9).
 		joinProb := func(p peeringdb.Policy) float64 {
@@ -452,13 +375,13 @@ func (g *generator) buildIXPs() {
 			}
 		}
 		shuffled := append([]bgp.ASN(nil), memberList...)
-		g.rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b.rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
 		var rs []bgp.ASN
 		for _, m := range shuffled {
 			if len(rs) >= rsMembers {
 				break
 			}
-			if g.rng.Float64() < joinProb(g.t.ASes[m].Policy) {
+			if b.rng.Float64() < joinProb(b.AS(m).Policy) {
 				rs = append(rs, m)
 			}
 		}
@@ -490,13 +413,13 @@ func (g *generator) buildIXPs() {
 			Transparent:         true,
 			FlatFee:             prof.FlatFee,
 		}
-		g.t.IXPs = append(g.t.IXPs, info)
+		b.IXPs = append(b.IXPs, info)
 
 		// PeeringDB registration for members.
 		for _, m := range memberList {
-			as := g.t.ASes[m]
+			as := b.AS(m)
 			if !as.Registered {
-				as.Registered = g.rng.Float64() < g.cfg.RegisteredFrac || as.Content
+				as.Registered = b.rng.Float64() < b.Cfg.RegisteredFrac || as.Content
 			}
 		}
 	}
@@ -509,40 +432,4 @@ func containsUnsorted(list []bgp.ASN, x bgp.ASN) bool {
 		}
 	}
 	return false
-}
-
-// weightedSample draws k distinct items from pool proportionally to
-// weights.
-func (g *generator) weightedSample(pool []bgp.ASN, weights []float64, k int) []bgp.ASN {
-	if k > len(pool) {
-		k = len(pool)
-	}
-	idx := make([]int, len(pool))
-	for i := range idx {
-		idx[i] = i
-	}
-	w := append([]float64(nil), weights...)
-	total := 0.0
-	for _, v := range w {
-		total += v
-	}
-	out := make([]bgp.ASN, 0, k)
-	for len(out) < k && total > 1e-12 {
-		x := g.rng.Float64() * total
-		for j, i := range idx {
-			x -= w[j]
-			if x <= 0 && w[j] > 0 {
-				out = append(out, pool[i])
-				total -= w[j]
-				// Swap-remove.
-				last := len(idx) - 1
-				idx[j], idx[last] = idx[last], idx[j]
-				w[j], w[last] = w[last], w[j]
-				idx = idx[:last]
-				w = w[:last]
-				break
-			}
-		}
-	}
-	return out
 }

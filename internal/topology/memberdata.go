@@ -23,10 +23,10 @@ func (t *Topology) MemberCommunities(ixpName string, member bgp.ASN) (bgp.Commun
 
 // finalizeMemberData encodes every member's filter communities (fixing
 // the scheme's 32-bit alias table deterministically) and assigns IXP
-// LAN addresses. Called as the last generation step.
-func (g *generator) finalizeMemberData() error {
-	g.t.MemberComms = make(map[string]map[bgp.ASN]bgp.Communities, len(g.t.IXPs))
-	for i, info := range g.t.IXPs {
+// LAN addresses. Called as the last generation stage.
+func (b *Builder) finalizeMemberData() error {
+	b.MemberComms = make(map[string]map[bgp.ASN]bgp.Communities, len(b.IXPs))
+	for i, info := range b.IXPs {
 		// LAN 172.(16+i).0.0/16, addresses handed out in member order.
 		if i > 200 {
 			return fmt.Errorf("topology: too many IXPs for LAN numbering")
@@ -42,7 +42,7 @@ func (g *generator) finalizeMemberData() error {
 		comms := make(map[bgp.ASN]bgp.Communities, len(info.RSMembers))
 		scheme := &info.Scheme
 		for _, m := range info.SortedRSMembers() {
-			f, ok := g.t.ExportFilter(info.Name, m)
+			f, ok := b.exportFilterOf(info.Name, m)
 			if !ok {
 				return fmt.Errorf("topology: %s member %s missing filter during finalize", info.Name, m)
 			}
@@ -50,12 +50,12 @@ func (g *generator) finalizeMemberData() error {
 			if err != nil {
 				return fmt.Errorf("topology: encoding %s filter for %s: %w", info.Name, m, err)
 			}
-			if g.t.ASes[m].OmitsDefaultALL && f.Mode == ixp.ModeAllExcept {
+			if b.AS(m).OmitsDefaultALL && f.Mode == ixp.ModeAllExcept {
 				cs = ixp.OmitDefault(cs, *scheme)
 			}
 			comms[m] = cs
 		}
-		g.t.MemberComms[info.Name] = comms
+		b.MemberComms[info.Name] = comms
 	}
 	return nil
 }

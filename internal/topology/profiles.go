@@ -112,6 +112,10 @@ type Config struct {
 	// Seed drives all randomness; equal seeds give identical worlds.
 	Seed int64
 
+	// Scenario names the registered world-construction scenario to run;
+	// empty means "baseline" (the paper's world). See ScenarioNames.
+	Scenario string
+
 	// Scale multiplies IXP membership counts and the AS pool. 1.0 is
 	// paper scale (~1,700 distinct IXP members); tests use ~0.15.
 	Scale float64

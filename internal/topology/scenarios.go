@@ -1,0 +1,265 @@
+package topology
+
+import (
+	"sort"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/peeringdb"
+)
+
+// This file defines the non-baseline world scenarios. Each splices
+// extra stages into the baseline pipeline and draws its randomness from
+// an independent StageRNG stream, so a scenario world is always the
+// baseline world plus the scenario's additions — never a perturbation
+// of baseline draws.
+
+func init() {
+	RegisterScenario(&Scenario{
+		Name: "remote-peering",
+		Description: "baseline plus remote IXP members connected through resellers " +
+			"(O Peer, Where Art Thou? — Nomikos et al.)",
+		Stages: insertAfter(baselineStages(), "ixps",
+			stage("remote-members", (*Builder).addRemoteMembers)),
+	})
+	RegisterScenario(&Scenario{
+		Name: "multi-ixp-hybrid",
+		Description: "baseline plus boosted multi-IXP presence and parallel " +
+			"bilateral sessions next to route-server peerings",
+		Stages: insertAfter(
+			insertAfter(baselineStages(), "ixps",
+				stage("hybrid-presence", (*Builder).addHybridPresence)),
+			"bilateral-ixp",
+			stage("hybrid-bilateral", (*Builder).addHybridBilateral)),
+	})
+	RegisterScenario(&Scenario{
+		Name: "pari-noise",
+		Description: "baseline with a probabilistic relationship mix: some bilateral " +
+			"p2p links demoted to transit, plus peering noise (PARI — Feng et al.)",
+		Stages: insertAfter(baselineStages(), "private-peering",
+			stage("pari-noise", (*Builder).addPARINoise)),
+	})
+}
+
+// --- remote-peering ---------------------------------------------------
+
+// remoteFrac is the fraction of each IXP's membership added as remote
+// members; Nomikos et al. found ~20% of members at large IXPs peer
+// remotely.
+const remoteFrac = 0.20
+
+// addRemoteMembers grows every IXP with out-of-region members connected
+// through a reseller: an existing local transit member that sells a
+// virtual port plus transit toward the exchange. Remote members join
+// the route server like any other member, which is exactly why the
+// paper's method cannot tell them apart — the ground truth lands in
+// Topology.RemoteMembers.
+func (b *Builder) addRemoteMembers() {
+	rng := b.StageRNG("remote-members")
+	b.RemoteMembers = make(map[string][]bgp.ASN, len(b.IXPs))
+	for _, info := range b.IXPs {
+		memberSet := make(map[bgp.ASN]bool, len(info.Members))
+		for _, m := range info.Members {
+			memberSet[m] = true
+		}
+
+		// Resellers: local transit members with customers of their own.
+		var resellers []bgp.ASN
+		for _, m := range info.Members {
+			as := b.AS(m)
+			if as.Tier == Tier2 && !as.Content && as.Region == info.Region {
+				resellers = append(resellers, m)
+			}
+		}
+		sort.Slice(resellers, func(i, j int) bool { return resellers[i] < resellers[j] })
+		if len(resellers) == 0 {
+			continue
+		}
+		if len(resellers) > 4 {
+			resellers = resellers[:4]
+		}
+
+		// Candidates: out-of-region edge networks not present yet.
+		var cands []bgp.ASN
+		for _, asn := range b.Order {
+			as := b.AS(asn)
+			if memberSet[asn] || as.Content || as.Tier == Tier1 {
+				continue
+			}
+			if as.Region == info.Region {
+				continue
+			}
+			cands = append(cands, asn)
+		}
+
+		want := int(float64(len(info.Members))*remoteFrac + 0.5)
+		for _, asn := range cands {
+			if len(b.RemoteMembers[info.Name]) >= want {
+				break
+			}
+			if rng.Float64() > 0.35 {
+				continue
+			}
+			reseller := resellers[rng.Intn(len(resellers))]
+			if asn == reseller {
+				continue
+			}
+			// The virtual port rides on transit from the reseller.
+			b.Link(asn, reseller)
+			info.Members = append(info.Members, asn)
+			memberSet[asn] = true
+			if rng.Float64() < 0.85 {
+				info.RSMembers = append(info.RSMembers, asn)
+			}
+			as := b.AS(asn)
+			if !as.Registered {
+				as.Registered = rng.Float64() < b.Cfg.RegisteredFrac
+			}
+			b.RemoteMembers[info.Name] = append(b.RemoteMembers[info.Name], asn)
+		}
+	}
+}
+
+// --- multi-ixp-hybrid -------------------------------------------------
+
+// addHybridPresence joins existing route-server members to additional
+// IXPs they are eligible for, producing the multi-IXP presence matrix
+// (Fig. 10) of a world where large peers meet at several exchanges.
+func (b *Builder) addHybridPresence() {
+	rng := b.StageRNG("hybrid-presence")
+	rsAnywhere := make(map[bgp.ASN]bool)
+	for _, info := range b.IXPs {
+		for _, m := range info.RSMembers {
+			rsAnywhere[m] = true
+		}
+	}
+	var pool []bgp.ASN
+	for _, asn := range b.Order { // ascending, deterministic
+		if rsAnywhere[asn] {
+			pool = append(pool, asn)
+		}
+	}
+	for _, info := range b.IXPs {
+		memberSet := make(map[bgp.ASN]bool, len(info.Members))
+		for _, m := range info.Members {
+			memberSet[m] = true
+		}
+		maxAdd := len(info.Members) / 4 // keep growth bounded at every scale
+		added := 0
+		for _, asn := range pool {
+			if added >= maxAdd {
+				break
+			}
+			if memberSet[asn] {
+				continue
+			}
+			as := b.AS(asn)
+			// Same eligibility shape as the membership stage: locals,
+			// global players, Europe-scope networks at European IXPs.
+			eligible := as.Region == info.Region ||
+				as.Scope == peeringdb.ScopeGlobal ||
+				(as.Scope == peeringdb.ScopeEurope && info.Region.IsEurope())
+			if !eligible || rng.Float64() > 0.30 {
+				continue
+			}
+			info.Members = append(info.Members, asn)
+			memberSet[asn] = true
+			if rng.Float64() < 0.90 {
+				info.RSMembers = append(info.RSMembers, asn)
+			}
+			added++
+		}
+	}
+}
+
+// addHybridBilateral adds parallel bilateral sessions between
+// route-server member pairs — the hybrid interconnection mix that hides
+// RS paths from best-path vantage points — and makes a slice of those
+// members prefer the bilateral sessions.
+func (b *Builder) addHybridBilateral() {
+	rng := b.StageRNG("hybrid-bilateral")
+	presence := make(map[bgp.ASN]int)
+	for _, info := range b.IXPs {
+		for _, m := range info.RSMembers {
+			presence[m]++
+		}
+	}
+	for _, info := range b.IXPs {
+		members := info.SortedRSMembers()
+		for i, x := range members {
+			if presence[x] < 2 {
+				continue
+			}
+			for _, y := range members[i+1:] {
+				if rng.Float64() > 0.08 {
+					continue
+				}
+				b.Peer(x, y)
+				key := MakeLinkKey(x, y)
+				b.BilateralIXP[key] = append(b.BilateralIXP[key], info.Name)
+			}
+			if rng.Float64() < 0.30 {
+				b.AS(x).PrefersBilateral = true
+			}
+		}
+	}
+}
+
+// --- pari-noise -------------------------------------------------------
+
+// addPARINoise perturbs the relationship mix probabilistically, after
+// PARI's observation that inferred relationship datasets carry a blend
+// of link types: a slice of bilateral p2p links is demoted to transit
+// (the lower-customer-degree side becomes the customer), and a little
+// extra edge-network peering appears.
+func (b *Builder) addPARINoise() {
+	rng := b.StageRNG("pari-noise")
+
+	// Demote ~15% of tier-2 p2p links to c2p.
+	for _, asn := range b.Order {
+		as := b.AS(asn)
+		if as.Tier != Tier2 || as.Content {
+			continue
+		}
+		// Copy: the peer list is mutated inside the loop.
+		peers := append([]bgp.ASN(nil), as.Peers...)
+		for _, p := range peers {
+			if p < asn {
+				continue // visit each link once, from its lower end
+			}
+			pas := b.AS(p)
+			if pas.Tier != Tier2 || pas.Content {
+				continue
+			}
+			if rng.Float64() > 0.15 {
+				continue
+			}
+			cust, prov := asn, p
+			if len(pas.Customers) < len(as.Customers) {
+				cust, prov = p, asn
+			}
+			b.AS(asn).Peers = removeASN(b.AS(asn).Peers, p)
+			b.AS(p).Peers = removeASN(b.AS(p).Peers, asn)
+			b.Link(cust, prov)
+		}
+	}
+
+	// Peering noise: sparse extra stub-to-transit p2p within a region.
+	// The candidate scan is deterministic given the starting offset, so
+	// a selected stub reliably gains a link when any same-region transit
+	// exists.
+	for _, asn := range b.stubs {
+		if rng.Float64() > 0.05 {
+			continue
+		}
+		as := b.AS(asn)
+		start := rng.Intn(len(b.tier2))
+		for k := 0; k < len(b.tier2); k++ {
+			t := b.tier2[(start+k)%len(b.tier2)]
+			if t == asn || b.AS(t).Region != as.Region || as.HasPeer(t) {
+				continue
+			}
+			b.Peer(asn, t)
+			break
+		}
+	}
+}

@@ -33,9 +33,18 @@ type LGHost struct {
 
 // Topology is the full generated world: the ground truth every
 // measurement and inference result is compared against.
+//
+// Builder-generated topologies are densely backed: every AS record
+// lives in one slab ordered like Order, addressable by the small
+// integer ids DenseIndex/ASAt expose, and the ASes map is a view into
+// that slab. Hand-assembled topologies (tests) may populate only the
+// map, in which case the dense accessors report absence.
 type Topology struct {
 	ASes  map[bgp.ASN]*AS
 	Order []bgp.ASN // all ASNs in deterministic (ascending) order
+
+	recs  []AS              // dense record slab, recs[i].ASN == Order[i]
+	index map[bgp.ASN]int32 // ASN -> position in Order
 
 	IXPs []*ixp.Info
 
@@ -72,10 +81,31 @@ type Topology struct {
 	// the member attaches to its route-server announcements (the wire
 	// encoding of ExportFilters, minus omitted defaults).
 	MemberComms map[string]map[bgp.ASN]bgp.Communities
+
+	// RemoteMembers records, per IXP name, the members connected
+	// remotely through a reseller rather than a local port (the
+	// remote-peering scenario's ground truth; nil for worlds without
+	// remote peering).
+	RemoteMembers map[string][]bgp.ASN
 }
 
 // AS returns the AS record for asn, or nil.
 func (t *Topology) AS(asn bgp.ASN) *AS { return t.ASes[asn] }
+
+// DenseIndex returns the shared ASN → dense-id map (id == position in
+// Order), or nil for hand-assembled topologies. Callers must not
+// mutate it.
+func (t *Topology) DenseIndex() map[bgp.ASN]int32 { return t.index }
+
+// IndexOf returns the dense id of asn.
+func (t *Topology) IndexOf(asn bgp.ASN) (int32, bool) {
+	i, ok := t.index[asn]
+	return i, ok
+}
+
+// ASAt returns the AS record at dense id i (position in Order). Only
+// valid on builder-generated topologies.
+func (t *Topology) ASAt(i int32) *AS { return &t.recs[i] }
 
 // IXPByName returns the IXP with the given name, or nil.
 func (t *Topology) IXPByName(name string) *ixp.Info {
