@@ -396,8 +396,39 @@ func BenchmarkTopologyGenerate(b *testing.B) {
 }
 
 func BenchmarkTopologyGenerateScaled(b *testing.B) {
-	// Paper scale (~4.7k ASes, 1.7k IXP members): the 10-100x scaling
-	// target's unit of account.
+	// The 10-100x scaling target's unit of account: the scaled-world
+	// scenario at Scale 10 (33 IXPs, ~16k ASes, ~6.3k IXP members),
+	// sequential versus the per-IXP worker pool. Both produce the
+	// bit-identical world (TestParallelGenerationBitIdentical).
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := topology.DefaultConfig()
+			cfg.Scenario = "scaled-world"
+			cfg.Scale = 10
+			cfg.Workers = bc.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				topo, err := topology.Generate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(topo.Order) == 0 {
+					b.Fatal("empty world")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTopologyGeneratePaperScale(b *testing.B) {
+	// Paper scale (~4.7k ASes, 1.7k IXP members), the pre-PR-3 unit of
+	// account, kept for perf-log continuity.
 	cfg := topology.DefaultConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -444,6 +475,33 @@ func BenchmarkPropagationTree(b *testing.B) {
 			b.Fatal("nil tree")
 		}
 	}
+}
+
+func BenchmarkAvailableRoutes(b *testing.B) {
+	// The all-paths LG enumeration, plain vs arena-backed: the arena
+	// variant is what ASBackend.Lookup drives.
+	c := fixture(b)
+	topo := c.World.Topo
+	engine := c.World.Engine
+	vantages := topo.ValidationLGs
+	dests := topo.Order
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := engine.Tree(dests[i%len(dests)])
+			_ = tr.AvailableRoutesFrom(vantages[i%len(vantages)].ASN)
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		var arena propagate.RouteArena
+		var buf []*propagate.VantageRoute
+		for i := 0; i < b.N; i++ {
+			tr := engine.Tree(dests[i%len(dests)])
+			arena.Reset()
+			buf = tr.AvailableRoutesFromArena(vantages[i%len(vantages)].ASN, &arena, buf)
+		}
+	})
 }
 
 func BenchmarkFullPipeline(b *testing.B) {

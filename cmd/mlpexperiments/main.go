@@ -21,16 +21,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mlpexperiments: ")
 
-	scale := flag.Float64("scale", 0.3, "world scale (1.0 = paper scale)")
+	scale := flag.Float64("scale", 0.3, "world scale (1.0 = paper scale; scaled-world grows IXP count with it)")
 	seed := flag.Int64("seed", 20130501, "generation seed")
 	scenario := flag.String("scenario", "baseline", "world scenario (one of: "+
 		strings.Join(topology.ScenarioNames(), ", ")+")")
+	workers := flag.Int("workers", 0, "worker goroutines for per-IXP generation stages (0 = all cores, 1 = sequential; output is identical)")
 	flag.Parse()
 
 	cfg := topology.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.Scenario = *scenario
+	cfg.Workers = *workers
 
 	start := time.Now()
 	ctx, err := experiments.NewContext(cfg)

@@ -28,9 +28,10 @@ func main() {
 	log.SetPrefix("topogen: ")
 
 	out := flag.String("out", "world", "output directory")
-	scale := flag.Float64("scale", 1.0, "world scale (1.0 = paper scale)")
+	scale := flag.Float64("scale", 1.0, "world scale (1.0 = paper scale; scaled-world grows IXP count with it)")
 	seed := flag.Int64("seed", 20130501, "generation seed")
 	scenario := flag.String("scenario", "baseline", "world scenario (see -list-scenarios)")
+	workers := flag.Int("workers", 0, "worker goroutines for per-IXP generation stages (0 = all cores, 1 = sequential; output is identical)")
 	list := flag.Bool("list-scenarios", false, "list registered world scenarios and exit")
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.Scenario = *scenario
+	cfg.Workers = *workers
 
 	start := time.Now()
 	topo, err := topology.Generate(cfg)

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -79,6 +80,11 @@ func (r *ActiveResult) TotalQueries() int {
 // RunActive surveys every IXP's looking glasses per §4.1/§4.3.
 // prefixHints maps origin ASes to prefixes they are known to originate
 // (from passive data); it steers third-party member LG queries.
+//
+// The first survey error cancels the in-flight sibling surveys and is
+// returned once they drain; whatever observations each survey collected
+// before failing (or being cancelled) is still merged into the result,
+// so a partial ActiveResult accompanies the error.
 func RunActive(ctx context.Context, dict *Dictionary, lgs map[string]IXPLGs,
 	passive *Observations, prefixHints map[bgp.ASN][]bgp.Prefix, cfg ActiveConfig) (*ActiveResult, error) {
 
@@ -94,6 +100,9 @@ func RunActive(ctx context.Context, dict *Dictionary, lgs map[string]IXPLGs,
 		MembersQueried:     make(map[string]int),
 		PrefixMultiplicity: make(map[string]map[bgp.Prefix]int),
 	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	var mu sync.Mutex
 	var firstErr error
@@ -115,8 +124,10 @@ func RunActive(ctx context.Context, dict *Dictionary, lgs map[string]IXPLGs,
 		defer mu.Unlock()
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("core: active survey of %s: %w", entry.Name, err)
-			return
+			cancel() // abort in-flight sibling surveys
 		}
+		// Merge even on error: a failed or cancelled survey's partial
+		// observations are still valid measurements.
 		res.Obs.Merge(obs)
 		res.QueriesPerIXP[entry.Name] += queries
 		res.MembersQueried[entry.Name] += membersQueried
@@ -142,12 +153,16 @@ func RunActive(ctx context.Context, dict *Dictionary, lgs map[string]IXPLGs,
 }
 
 // sampleTarget returns P'_a: how many of a member's |Pa| prefixes we
-// want community data for.
+// want community data for: ceil(|Pa| * SamplePct), clamped to
+// [1, MaxPrefixesPerMember]. The product is computed in float — an
+// integer percentage (int(SamplePct*100)) truncates rates like 0.29 to
+// 28% and under-samples — with a small epsilon so representation noise
+// (10 * 0.1 = 1.0000000000000002) cannot round a whole target up.
 func sampleTarget(numPrefixes int, cfg ActiveConfig) int {
 	if numPrefixes == 0 {
 		return 0
 	}
-	t := (numPrefixes*int(cfg.SamplePct*100) + 99) / 100
+	t := int(math.Ceil(float64(numPrefixes)*cfg.SamplePct - 1e-9))
 	if t < 1 {
 		t = 1
 	}

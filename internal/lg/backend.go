@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"mlpeering/internal/bgp"
 	"mlpeering/internal/propagate"
@@ -131,12 +132,22 @@ func (b *RSBackend) Lookup(prefix bgp.Prefix) ([]PathInfo, error) {
 
 // ASBackend exposes one AS's BGP view: the third-party and validation
 // looking glasses of §4.1 and §5.1.
+//
+// Route reconstruction is slab-allocated from a per-backend arena, so a
+// Lookup result is only valid until the next Lookup on the same
+// backend. The LG server renders each response before serving the next
+// query, and the survey/validation clients drive every LG sequentially,
+// so the contract holds for all in-repo consumers.
 type ASBackend struct {
 	engine   *propagate.Engine
 	asn      bgp.ASN
 	owners   map[bgp.Prefix]bgp.ASN
 	allPaths bool
 	routerID netip.Addr
+
+	mu       sync.Mutex
+	arena    propagate.RouteArena
+	routeBuf []*propagate.VantageRoute
 }
 
 // NewASBackend builds a looking glass for the given AS. allPaths
@@ -167,7 +178,8 @@ func (b *ASBackend) NeighborRoutes(addr netip.Addr) ([]bgp.Prefix, error) {
 	return nil, fmt.Errorf("lg: %% Command not supported on this looking glass")
 }
 
-// Lookup implements Backend.
+// Lookup implements Backend. The returned PathInfos alias the backend's
+// route arena and are valid until the next Lookup on this backend.
 func (b *ASBackend) Lookup(prefix bgp.Prefix) ([]PathInfo, error) {
 	owner, ok := b.owners[prefix]
 	if !ok {
@@ -177,12 +189,19 @@ func (b *ASBackend) Lookup(prefix bgp.Prefix) ([]PathInfo, error) {
 	if tr == nil {
 		return nil, nil
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arena.Reset()
 	topo := b.engine.Topology()
 	var routes []*propagate.VantageRoute
 	if b.allPaths {
-		routes = tr.AvailableRoutesFrom(b.asn)
-	} else if r := tr.RouteFrom(b.asn); r != nil {
-		routes = []*propagate.VantageRoute{r}
+		routes = tr.AvailableRoutesFromArena(b.asn, &b.arena, b.routeBuf)
+		b.routeBuf = routes[:0]
+	} else if r := tr.RouteFromArena(b.asn, &b.arena); r != nil {
+		if cap(b.routeBuf) == 0 {
+			b.routeBuf = make([]*propagate.VantageRoute, 0, 1)
+		}
+		routes = append(b.routeBuf[:0], r)
 	}
 	out := make([]PathInfo, 0, len(routes))
 	for i, r := range routes {

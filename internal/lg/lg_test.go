@@ -2,6 +2,7 @@ package lg
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"net/netip"
 	"testing"
@@ -284,5 +285,75 @@ Paths: (2 available, best #1)
 	}
 	if paths[0].NextHop != netip.MustParseAddr("172.16.1.3") {
 		t.Fatalf("next hop = %v", paths[0].NextHop)
+	}
+}
+
+// TestConcurrentLookupsOneBackend hammers a single mounted AS looking
+// glass from many goroutines. The server serializes per-LG requests
+// because ASBackend's Lookup results alias its route arena until the
+// next Lookup; run under -race this pins the absence of arena reuse
+// races, and every response must parse to the same stable path set.
+func TestConcurrentLookupsOneBackend(t *testing.T) {
+	topo, e, _ := testWorld(t)
+	owners := topo.PrefixOwners()
+	info := topo.IXPs[0]
+	members := info.SortedRSMembers()
+	var vantage bgp.ASN
+	var prefix bgp.Prefix
+	for _, m := range members {
+		for _, o := range members {
+			if m != o && len(topo.ASes[o].Prefixes) > 0 {
+				vantage, prefix = m, topo.ASes[o].Prefixes[0]
+				break
+			}
+		}
+		if vantage != 0 {
+			break
+		}
+	}
+	if vantage == 0 {
+		t.Skip("no suitable pair")
+	}
+
+	srv := NewServer()
+	srv.Mount("as", NewASBackend(e, vantage, owners, true))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := &Client{BaseURL: ts.URL + "/as"}
+	want, err := client.Lookup(context.Background(), prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			c := &Client{BaseURL: ts.URL + "/as"}
+			for i := 0; i < 20; i++ {
+				got, err := c.Lookup(context.Background(), prefix)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) != len(want) {
+					errs <- fmt.Errorf("lookup returned %d paths, want %d", len(got), len(want))
+					return
+				}
+				for j := range got {
+					if len(got[j].Path) != len(want[j].Path) {
+						errs <- fmt.Errorf("path %d length drifted under concurrency", j)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/netip"
 	"strings"
+	"sync"
 
 	"mlpeering/internal/bgp"
 )
@@ -21,10 +22,18 @@ func NewServer() *Server {
 	return &Server{mux: http.NewServeMux(), backends: make(map[string]Backend)}
 }
 
-// Mount registers a backend under the given name.
+// Mount registers a backend under the given name. Requests to one
+// looking glass are served one at a time: backend results may alias
+// per-backend buffers that the next query on the same backend recycles
+// (ASBackend's route arena), so the query and its rendering form one
+// critical section. Real LG frontends serialize harder than this —
+// they rate-limit to one query per several seconds.
 func (s *Server) Mount(name string, b Backend) {
 	s.backends[name] = b
+	var mu sync.Mutex
 	s.mux.HandleFunc("/"+name, func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
 		s.serve(b, w, r)
 	})
 }

@@ -1,7 +1,7 @@
 package propagate
 
 import (
-	"sort"
+	"slices"
 
 	"mlpeering/internal/bgp"
 )
@@ -190,38 +190,65 @@ func (t *Tree) reconstruct(vi int32, arena *RouteArena) *VantageRoute {
 // looking glass prints. Alternatives whose path would traverse the
 // vantage itself are suppressed (BGP loop prevention).
 func (t *Tree) AvailableRoutesFrom(vantage bgp.ASN) []*VantageRoute {
+	return t.AvailableRoutesFromArena(vantage, nil, nil)
+}
+
+// AvailableRoutesFromArena is AvailableRoutesFrom with the routes and
+// their path storage slab-allocated from arena when it is non-nil, and
+// the result appended to buf (which may be nil). Arena routes are valid
+// only until the arena's next Reset and share the engine's community
+// slices instead of cloning them: callers must treat them as read-only.
+func (t *Tree) AvailableRoutesFromArena(vantage bgp.ASN, arena *RouteArena, buf []*VantageRoute) []*VantageRoute {
 	e := t.e
 	vi, ok := e.idx[vantage]
 	if !ok {
 		return nil
 	}
-	var out []*VantageRoute
+	out := buf[:0]
+
+	newRoute := func() *VantageRoute {
+		if arena != nil {
+			return arena.newRoute()
+		}
+		return &VantageRoute{}
+	}
+	newPath := func(n int) []bgp.ASN {
+		if arena != nil {
+			return arena.pathSlice(n)
+		}
+		return make([]bgp.ASN, 0, n)
+	}
 
 	add := func(nb int32, class Class, bilateral bool, viaIXPIdx int16) {
 		sub := t.hops[nb]
 		if sub.class == ClassNone {
 			return
 		}
-		nbRoute := t.reconstruct(nb, nil)
+		nbRoute := t.reconstruct(nb, arena)
 		for _, a := range nbRoute.Path {
 			if a == vantage {
 				return // loop
 			}
 		}
-		r := &VantageRoute{
-			Path:      append([]bgp.ASN{vantage}, nbRoute.Path...),
-			Class:     class,
-			Bilateral: bilateral,
-		}
+		r := newRoute()
+		r.Class = class
+		r.Bilateral = bilateral
+		path := newPath(len(nbRoute.Path) + 2)
+		path = append(path, vantage)
 		if viaIXPIdx != noIXP {
 			st := e.ixps[viaIXPIdx]
 			r.ViaIXP = st.info.Name
 			r.RSSetter = e.asns[nb]
 			if !st.info.Transparent {
-				r.Path = append([]bgp.ASN{vantage, st.info.Scheme.RSASN}, nbRoute.Path...)
+				path = append(path, st.info.Scheme.RSASN)
 			}
 			if !st.info.StripsCommunities {
-				r.Communities = st.comms[st.slotOf[nb]].Clone()
+				cs := st.comms[st.slotOf[nb]]
+				if arena != nil {
+					r.Communities = cs
+				} else {
+					r.Communities = cs.Clone()
+				}
 			}
 		} else {
 			// Communities on the neighbor's route survive to the
@@ -232,11 +259,16 @@ func (t *Tree) AvailableRoutesFrom(vantage bgp.ASN) []*VantageRoute {
 				r.RSSetter = nbRoute.RSSetter
 			}
 		}
+		r.Path = append(path, nbRoute.Path...)
 		out = append(out, r)
 	}
 
 	if t.hops[vi].class == ClassOrigin {
-		return []*VantageRoute{{Path: []bgp.ASN{vantage}, Class: ClassOrigin, Best: true}}
+		r := newRoute()
+		r.Class = ClassOrigin
+		r.Best = true
+		r.Path = append(newPath(1), vantage)
+		return append(out, r)
 	}
 
 	as := e.topo.ASes[vantage]
@@ -298,7 +330,18 @@ func (t *Tree) AvailableRoutesFrom(vantage bgp.ASN) []*VantageRoute {
 		}
 	}
 
-	sort.SliceStable(out, func(i, j int) bool { return t.routeLess(vi, out[i], out[j]) })
+	// Generic sort: sort.SliceStable's reflection path allocates, which
+	// would void the arena's zero-alloc contract.
+	slices.SortStableFunc(out, func(a, b *VantageRoute) int {
+		switch {
+		case t.routeLess(vi, a, b):
+			return -1
+		case t.routeLess(vi, b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
 	if len(out) > 0 {
 		out[0].Best = true
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"mlpeering/internal/bgp"
 	"mlpeering/internal/ixp"
@@ -23,16 +24,26 @@ type Builder struct {
 
 	rng *rand.Rand
 
-	recs  []AS              // dense AS records; id = allocation order
-	byASN map[bgp.ASN]int32 // ASN -> dense id
-	Order []bgp.ASN         // every ASN; ascending after the allocation stage
+	recs     []AS              // dense AS records; id = allocation order
+	byASN    map[bgp.ASN]int32 // ASN -> dense id
+	Order    []bgp.ASN         // every ASN; ascending after the allocation stage
+	orderIDs []int32           // dense ids in Order (ascending-ASN) order
 
 	// Tier pools in allocation order, consumed by the attachment and
-	// membership stages.
+	// membership stages, with their dense-id mirrors (same order).
 	tier1   []bgp.ASN
 	tier2   []bgp.ASN
 	stubs   []bgp.ASN
 	content []bgp.ASN
+
+	tier1IDs   []int32
+	tier2IDs   []int32
+	stubIDs    []int32
+	contentIDs []int32
+
+	// scratchPool hands out per-worker dense working memory to the
+	// parallel per-IXP stages (see parallel.go).
+	scratchPool sync.Pool
 
 	// World-level state assembled by stages and moved onto the Topology
 	// at Finalize. Same semantics as the Topology fields of the same
@@ -53,7 +64,7 @@ type Builder struct {
 
 // NewBuilder returns an empty builder seeded from cfg.
 func NewBuilder(cfg Config) *Builder {
-	return &Builder{
+	b := &Builder{
 		Cfg:           cfg,
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		byASN:         make(map[bgp.ASN]int32),
@@ -64,6 +75,8 @@ func NewBuilder(cfg Config) *Builder {
 		PrefixRegions: make(map[bgp.Prefix]ixp.Region),
 		nextPrefix:    0x14000000, // 20.0.0.0
 	}
+	b.scratchPool.New = func() any { return &denseScratch{} }
+	return b
 }
 
 // RNG returns the main generation stream. Baseline stages share it;
@@ -77,6 +90,14 @@ func (b *Builder) StageRNG(name string) *rand.Rand {
 	h := fnv.New64a()
 	h.Write([]byte(name))
 	return rand.New(rand.NewSource(b.Cfg.Seed ^ int64(h.Sum64())))
+}
+
+// StageIXPRNG derives the deterministic stream for one IXP's slice of a
+// per-IXP stage. Keying by (stage, IXP name) makes every IXP's draws
+// independent of stage scheduling, which is what lets the per-IXP
+// stages run on a worker pool without changing the world.
+func (b *Builder) StageIXPRNG(stage, ixpName string) *rand.Rand {
+	return b.StageRNG(stage + "\x00" + ixpName)
 }
 
 // Len returns the number of ASes allocated so far.
@@ -139,26 +160,6 @@ func (b *Builder) Peer(x, y bgp.ASN) {
 	c.Peers = insertASN(c.Peers, x)
 }
 
-// customerCone walks customer edges from asn (asn included), the
-// builder-side equivalent of Topology.CustomerCone.
-func (b *Builder) customerCone(asn bgp.ASN) map[bgp.ASN]bool {
-	cone := make(map[bgp.ASN]bool)
-	var walk func(a bgp.ASN)
-	walk = func(a bgp.ASN) {
-		if cone[a] {
-			return
-		}
-		cone[a] = true
-		if as := b.AS(a); as != nil {
-			for _, c := range as.Customers {
-				walk(c)
-			}
-		}
-	}
-	walk(asn)
-	return cone
-}
-
 // exportFilterOf returns the export filter of member at the named IXP.
 func (b *Builder) exportFilterOf(ixpName string, member bgp.ASN) (ixp.ExportFilter, bool) {
 	m, ok := b.ExportFilters[ixpName]
@@ -192,42 +193,6 @@ func (b *Builder) allocPrefix(bits int, region ixp.Region) bgp.Prefix {
 	p := bgp.PrefixFrom(addr, bits)
 	b.PrefixRegions[p] = region
 	return p
-}
-
-// weightedSample draws k distinct items from pool proportionally to
-// weights, consuming the given random stream.
-func weightedSample(rng *rand.Rand, pool []bgp.ASN, weights []float64, k int) []bgp.ASN {
-	if k > len(pool) {
-		k = len(pool)
-	}
-	idx := make([]int, len(pool))
-	for i := range idx {
-		idx[i] = i
-	}
-	w := append([]float64(nil), weights...)
-	total := 0.0
-	for _, v := range w {
-		total += v
-	}
-	out := make([]bgp.ASN, 0, k)
-	for len(out) < k && total > 1e-12 {
-		x := rng.Float64() * total
-		for j, i := range idx {
-			x -= w[j]
-			if x <= 0 && w[j] > 0 {
-				out = append(out, pool[i])
-				total -= w[j]
-				// Swap-remove.
-				last := len(idx) - 1
-				idx[j], idx[last] = idx[last], idx[j]
-				w[j], w[last] = w[last], w[j]
-				idx = idx[:last]
-				w = w[:last]
-				break
-			}
-		}
-	}
-	return out
 }
 
 // Finalize materializes the Topology: the record slab is re-packed in

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"math/rand"
 	"sort"
 
 	"mlpeering/internal/bgp"
@@ -25,48 +26,65 @@ func openBehaveProb(p peeringdb.Policy) float64 {
 	}
 }
 
+// generateFilters synthesizes every route-server member's export and
+// import policy, one IXP per worker-pool task: filter synthesis only
+// reads the relationship graph (fixed since the hierarchy stages) and
+// writes the per-IXP filter maps in its commit.
 func (b *Builder) generateFilters() {
-	for _, info := range b.IXPs {
+	b.fanOutIXPs("filters", func(rng *rand.Rand, xi int) func() {
+		info := b.IXPs[xi]
 		exp := make(map[bgp.ASN]ixp.ExportFilter, len(info.RSMembers))
 		imp := make(map[bgp.ASN]ixp.ExportFilter, len(info.RSMembers))
 		members := info.SortedRSMembers()
-		memberSet := make(map[bgp.ASN]bool, len(members))
+		s := b.scratch()
+		memberVisited := make([]int32, 0, len(members))
 		for _, m := range members {
-			memberSet[m] = true
+			if id, ok := b.byASN[m]; ok {
+				s.member[id] = true
+				memberVisited = append(memberVisited, id)
+			}
 		}
 
 		for _, m := range members {
 			as := b.AS(m)
 			var ef ixp.ExportFilter
-			if b.rng.Float64() < openBehaveProb(as.Policy) {
-				ef = b.openExportFilter(info, m, members, memberSet)
+			if rng.Float64() < openBehaveProb(as.Policy) {
+				ef = b.openExportFilter(rng, s, m, members)
 			} else {
-				ef = b.closedExportFilter(m, members)
+				ef = b.closedExportFilter(rng, m, members)
 			}
 			exp[m] = ef
-			imp[m] = b.importFromExport(ef)
+			imp[m] = b.importFromExport(rng, ef)
 		}
-		b.ExportFilters[info.Name] = exp
-		b.ImportFilters[info.Name] = imp
-	}
+		clearMarks(s.member, memberVisited)
+		b.release(s)
+		return func() {
+			b.ExportFilters[info.Name] = exp
+			b.ImportFilters[info.Name] = imp
+		}
+	})
 }
 
 // openExportFilter builds an ALL+EXCLUDE policy. Exclusions follow the
 // paper's observed composition (§5.5): mostly ASes within the member's
 // customer cone (one does not need route-server routes toward one's own
 // downstream), plus content networks reached over preferred private
-// interconnects, plus a little noise.
-func (b *Builder) openExportFilter(info *ixp.Info, m bgp.ASN, members []bgp.ASN, memberSet map[bgp.ASN]bool) ixp.ExportFilter {
+// interconnects, plus a little noise. s.member must mark the RS member
+// ids of the IXP under construction.
+func (b *Builder) openExportFilter(rng *rand.Rand, s *denseScratch, m bgp.ASN, members []bgp.ASN) ixp.ExportFilter {
 	as := b.AS(m)
 	var excludes []bgp.ASN
 
 	// Customer-cone exclusions: direct customers excluded rarely (the
 	// paper found only 12% of EXCLUDEs are provider-blocks-customer),
-	// deeper cone members more often.
+	// deeper cone members more often. The cone is marked on the dense
+	// scratch plane instead of a per-member ASN map.
 	if as.Tier != TierStub {
-		cone := b.customerCone(m)
+		mid := b.byASN[m]
+		coneVisited := b.markCustomerCone(mid, s, s.visited[:0])
 		for _, other := range members {
-			if other == m || !cone[other] {
+			oid, ok := b.byASN[other]
+			if !ok || other == m || !s.marks[oid] {
 				continue
 			}
 			direct := as.HasCustomer(other)
@@ -74,27 +92,30 @@ func (b *Builder) openExportFilter(info *ixp.Info, m bgp.ASN, members []bgp.ASN,
 			if direct {
 				p = 0.15
 			}
-			if b.rng.Float64() < p {
+			if rng.Float64() < p {
 				excludes = append(excludes, other)
 			}
 		}
+		clearMarks(s.marks, coneVisited)
+		s.visited = coneVisited[:0]
 	}
 
 	// Private-interconnect exclusions: members that peer bilaterally
 	// with a content network prefer the direct path and repel the RS
 	// routes (the Google/Akamai behaviour of §5.5).
-	for _, c := range b.content {
-		if c == m || !memberSet[c] {
+	for _, cid := range b.contentIDs {
+		c := b.recs[cid].ASN
+		if c == m || !s.member[cid] {
 			continue
 		}
-		if as.HasPeer(c) && b.rng.Float64() < 0.75 {
+		if as.HasPeer(c) && rng.Float64() < 0.75 {
 			excludes = append(excludes, c)
 		}
 	}
 
 	// Background noise: occasional unexplained exclusions.
-	if b.rng.Float64() < 0.08 && len(members) > 2 {
-		other := members[b.rng.Intn(len(members))]
+	if rng.Float64() < 0.08 && len(members) > 2 {
+		other := members[rng.Intn(len(members))]
 		if other != m {
 			excludes = append(excludes, other)
 		}
@@ -105,16 +126,16 @@ func (b *Builder) openExportFilter(info *ixp.Info, m bgp.ASN, members []bgp.ASN,
 
 // closedExportFilter builds a NONE+INCLUDE policy with a short include
 // list (the bottom cluster of Fig. 11).
-func (b *Builder) closedExportFilter(m bgp.ASN, members []bgp.ASN) ixp.ExportFilter {
+func (b *Builder) closedExportFilter(rng *rand.Rand, m bgp.ASN, members []bgp.ASN) ixp.ExportFilter {
 	maxInc := len(members) / 12
 	if maxInc < 2 {
 		maxInc = 2
 	}
-	n := 1 + b.rng.Intn(maxInc)
+	n := 1 + rng.Intn(maxInc)
 	var includes []bgp.ASN
 	seen := map[bgp.ASN]bool{m: true}
 	for len(includes) < n && len(seen) < len(members) {
-		cand := members[b.rng.Intn(len(members))]
+		cand := members[rng.Intn(len(members))]
 		if seen[cand] {
 			continue
 		}
@@ -127,7 +148,7 @@ func (b *Builder) closedExportFilter(m bgp.ASN, members []bgp.ASN) ixp.ExportFil
 		} else if b.AS(cand).Region == b.AS(m).Region {
 			w = 0.6
 		}
-		if b.rng.Float64() < w {
+		if rng.Float64() < w {
 			includes = append(includes, cand)
 		}
 	}
@@ -137,13 +158,13 @@ func (b *Builder) closedExportFilter(m bgp.ASN, members []bgp.ASN) ixp.ExportFil
 // importFromExport derives the member's import filter. Per the §4.4
 // measurement, imports are never more restrictive and about half are
 // strictly more permissive.
-func (b *Builder) importFromExport(ef ixp.ExportFilter) ixp.ExportFilter {
-	relax := b.rng.Float64() < 0.5
+func (b *Builder) importFromExport(rng *rand.Rand, ef ixp.ExportFilter) ixp.ExportFilter {
+	relax := rng.Float64() < 0.5
 	switch ef.Mode {
 	case ixp.ModeAllExcept:
 		var keep []bgp.ASN
 		for _, p := range ef.PeerList() {
-			if relax && b.rng.Float64() < 0.5 {
+			if relax && rng.Float64() < 0.5 {
 				continue // accept routes from an AS we do not send to
 			}
 			keep = append(keep, p)
@@ -154,7 +175,7 @@ func (b *Builder) importFromExport(ef ixp.ExportFilter) ixp.ExportFilter {
 		if relax {
 			// A NONE+INCLUDE member that accepts from everyone is
 			// modeled as an open import.
-			if b.rng.Float64() < 0.3 {
+			if rng.Float64() < 0.3 {
 				return ixp.OpenFilter()
 			}
 		}
@@ -165,31 +186,46 @@ func (b *Builder) importFromExport(ef ixp.ExportFilter) ixp.ExportFilter {
 // addBilateralIXPPeering creates bilateral sessions across the IXP
 // fabrics: the links the paper's method cannot see (§5.8). Non-RS
 // members rely on them entirely; some RS members hold them in parallel.
+// Pair selection is pure per-IXP compute; the Peer-set and link-map
+// mutations land in the ordered commits.
 func (b *Builder) addBilateralIXPPeering() {
-	for _, info := range b.IXPs {
-		rsSet := make(map[bgp.ASN]bool, len(info.RSMembers))
+	b.fanOutIXPs("bilateral-ixp", func(rng *rand.Rand, xi int) func() {
+		info := b.IXPs[xi]
+		s := b.scratch()
+		rsSet := s.member
+		rsVisited := make([]int32, 0, len(info.RSMembers))
 		for _, m := range info.RSMembers {
-			rsSet[m] = true
+			if id, ok := b.byASN[m]; ok {
+				rsSet[id] = true
+				rsVisited = append(rsVisited, id)
+			}
 		}
 		var nonRS []bgp.ASN
 		for _, m := range info.Members {
-			if !rsSet[m] {
+			if id, ok := b.byASN[m]; ok && !rsSet[id] {
 				nonRS = append(nonRS, m)
 			}
 		}
+		clearMarks(rsSet, rsVisited)
+		b.release(s)
 		sort.Slice(nonRS, func(i, j int) bool { return nonRS[i] < nonRS[j] })
 
+		var pairs [][2]bgp.ASN
 		addBilateral := func(x, y bgp.ASN) {
-			b.Peer(x, y)
-			key := MakeLinkKey(x, y)
-			b.BilateralIXP[key] = append(b.BilateralIXP[key], info.Name)
+			// A bilateral session never shadows an existing transit
+			// relationship: a customer buys reachability from its
+			// provider and does not also peer with it on the fabric.
+			if xs := b.AS(x); xs.HasProvider(y) || xs.HasCustomer(y) {
+				return
+			}
+			pairs = append(pairs, [2]bgp.ASN{x, y})
 		}
 
 		// Bilateral-only members peer selectively with each other
 		// (density well below the multilateral 80-95%, per §5.4).
 		for i, x := range nonRS {
 			for _, y := range nonRS[i+1:] {
-				if b.rng.Float64() < 0.30 {
+				if rng.Float64() < 0.30 {
 					addBilateral(x, y)
 				}
 			}
@@ -197,7 +233,7 @@ func (b *Builder) addBilateralIXPPeering() {
 		// ... and with a slice of the RS members.
 		for _, x := range nonRS {
 			for _, y := range info.RSMembers {
-				if b.rng.Float64() < 0.10 {
+				if rng.Float64() < 0.10 {
 					addBilateral(x, y)
 				}
 			}
@@ -206,15 +242,22 @@ func (b *Builder) addBilateralIXPPeering() {
 		// combined with PrefersBilateral routers these hide RS paths
 		// from best-path looking glasses (Fig. 8).
 		members := info.SortedRSMembers()
-		pairs := len(members) / 4
-		for i := 0; i < pairs; i++ {
-			x := members[b.rng.Intn(len(members))]
-			y := members[b.rng.Intn(len(members))]
+		for i := 0; i < len(members)/4; i++ {
+			x := members[rng.Intn(len(members))]
+			y := members[rng.Intn(len(members))]
 			if x != y {
 				addBilateral(x, y)
 			}
 		}
-	}
+
+		return func() {
+			for _, p := range pairs {
+				b.Peer(p[0], p[1])
+				key := MakeLinkKey(p[0], p[1])
+				b.BilateralIXP[key] = append(b.BilateralIXP[key], info.Name)
+			}
+		}
+	})
 }
 
 // pickFeeders selects the collector vantage points.

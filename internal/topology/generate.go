@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"mlpeering/internal/bgp"
@@ -34,7 +35,7 @@ func (b *Builder) allocateASes() {
 		// with realistic reuse across IXPs.
 		slots := 0
 		for _, p := range cfg.Profiles {
-			slots += cfg.scaled(p.Members)
+			slots += cfg.memberTarget(p)
 		}
 		n = slots*3/2 + 400
 	}
@@ -63,28 +64,13 @@ func (b *Builder) allocateASes() {
 		}
 	}
 
-	regionDist := []struct {
-		r ixp.Region
-		w int
-	}{
+	// AS population skew, leaning European like the measured ecosystem.
+	regionDist := []regionWeight{
 		{ixp.RegionWestEU, 26}, {ixp.RegionEastEU, 20}, {ixp.RegionNorthEU, 9},
 		{ixp.RegionSouthEU, 13}, {ixp.RegionNorthAmerica, 16},
 		{ixp.RegionAsiaPacific, 10}, {ixp.RegionLatinAmerica, 4}, {ixp.RegionAfrica, 2},
 	}
-	pickRegion := func() ixp.Region {
-		total := 0
-		for _, rd := range regionDist {
-			total += rd.w
-		}
-		x := b.rng.Intn(total)
-		for _, rd := range regionDist {
-			if x < rd.w {
-				return rd.r
-			}
-			x -= rd.w
-		}
-		return ixp.RegionWestEU
-	}
+	pickRegion := func() ixp.Region { return pickWeightedRegion(b.rng, regionDist) }
 
 	numT2 := int(float64(n) * cfg.TransitFrac)
 	for i := 0; i < n; i++ {
@@ -153,9 +139,23 @@ func (b *Builder) allocateASes() {
 		as.Name = fmt.Sprintf("AS%s-%s", as.ASN, as.Region)
 		as.StripsCommunities = b.rng.Float64() < cfg.StripProb
 		as.OmitsDefaultALL = b.rng.Float64() < 0.30
-		b.Add(as)
+		id := b.Add(as)
+		switch {
+		case as.Tier == Tier1:
+			b.tier1IDs = append(b.tier1IDs, id)
+		case as.Content:
+			b.contentIDs = append(b.contentIDs, id)
+		case as.Tier == Tier2:
+			b.tier2IDs = append(b.tier2IDs, id)
+		default:
+			b.stubIDs = append(b.stubIDs, id)
+		}
 	}
 	sort.Slice(b.Order, func(i, j int) bool { return b.Order[i] < b.Order[j] })
+	b.orderIDs = make([]int32, len(b.Order))
+	for i, asn := range b.Order {
+		b.orderIDs[i] = b.byASN[asn]
+	}
 }
 
 func (b *Builder) buildHierarchy() {
@@ -167,22 +167,21 @@ func (b *Builder) buildHierarchy() {
 	}
 	// Tier-2 (incl. content) attach to 1-3 tier-1 providers with
 	// preferential attachment (weight = current customer count + 1).
-	attach := func(asn bgp.ASN, pool []bgp.ASN, k int, regionAffine bool) {
-		as := b.AS(asn)
-		chosen := make(map[bgp.ASN]bool)
-		for len(chosen) < k && len(chosen) < len(pool) {
+	// The tier-1 pool is tiny, so a linear re-scan per choice is fine.
+	attachSmall := func(id int32, pool []int32, k int) {
+		asn := b.recs[id].ASN
+		var chosen [4]int32
+		nChosen := 0
+		weights := make([]float64, len(pool))
+		for nChosen < k && nChosen < len(pool) {
 			total := 0.0
-			weights := make([]float64, len(pool))
 			for i, p := range pool {
-				if chosen[p] || p == asn {
+				weights[i] = 0
+				if p == id || containsID(chosen[:nChosen], p) {
 					continue
 				}
-				w := float64(len(b.AS(p).Customers) + 1)
-				if regionAffine && b.AS(p).Region == as.Region {
-					w *= 8
-				}
-				weights[i] = w
-				total += w
+				weights[i] = float64(len(b.recs[p].Customers) + 1)
+				total += weights[i]
 			}
 			if total == 0 {
 				break
@@ -191,25 +190,113 @@ func (b *Builder) buildHierarchy() {
 			for i, p := range pool {
 				x -= weights[i]
 				if x <= 0 && weights[i] > 0 {
-					chosen[p] = true
-					b.Link(asn, p)
+					chosen[nChosen] = p
+					nChosen++
+					b.Link(asn, b.recs[p].ASN)
 					break
 				}
 			}
 		}
 	}
-	for _, asn := range b.tier2 {
-		attach(asn, b.tier1, 1+b.rng.Intn(3), false)
+	for _, id := range b.tier2IDs {
+		attachSmall(id, b.tier1IDs, 1+b.rng.Intn(3))
 	}
-	for _, asn := range b.content {
-		attach(asn, b.tier1, 2+b.rng.Intn(2), false)
+	for _, id := range b.contentIDs {
+		attachSmall(id, b.tier1IDs, 2+b.rng.Intn(2))
 	}
-	for _, asn := range b.stubs {
-		// Stubs are predominantly multihomed to same-region transits;
-		// several of a stub's providers meeting at the regional IXP is
-		// what makes its prefixes multi-advertised there (Fig. 5).
-		attach(asn, b.tier2, 2+b.rng.Intn(2), true)
+
+	// Stubs are predominantly multihomed to same-region transits;
+	// several of a stub's providers meeting at the regional IXP is what
+	// makes its prefixes multi-advertised there (Fig. 5). The stub pass
+	// dominated generation at scale (O(stubs × tier2) weight re-scans
+	// through ASN-keyed maps); it now samples through one Fenwick tree
+	// per region, each holding every tier-2's preferential-attachment
+	// weight with the ×8 same-region boost baked in, updated as links
+	// land: O(stubs × log tier2).
+	nt2 := len(b.tier2IDs)
+	if nt2 == 0 {
+		return
 	}
+	trees := make([]*fenwick, ixp.NumRegions)
+	base := make([]float64, nt2)
+	boost := make([]float64, nt2) // per-region multiplier row, reused
+	for r := 0; r < ixp.NumRegions; r++ {
+		trees[r] = newFenwick(nt2)
+		for i, id := range b.tier2IDs {
+			w := float64(len(b.recs[id].Customers) + 1)
+			base[i] = w
+			if b.recs[id].Region == ixp.Region(r) {
+				w *= 8
+			}
+			boost[i] = w
+		}
+		trees[r].build(boost)
+	}
+	mult := func(i int, r ixp.Region) float64 {
+		if b.recs[b.tier2IDs[i]].Region == r {
+			return 8
+		}
+		return 1
+	}
+	for _, sid := range b.stubIDs {
+		k := 2 + b.rng.Intn(2)
+		region := b.recs[sid].Region
+		tree := trees[region]
+		var chosen [4]int
+		nChosen := 0
+		for nChosen < k && nChosen < nt2 {
+			total := tree.Total()
+			if total <= 1e-12 {
+				break
+			}
+			i := tree.Find(b.rng.Float64() * total)
+			if containsInt(chosen[:nChosen], i) {
+				// Removing a chosen entry subtracts its float weight,
+				// which can leave a tiny residue in the tree; a draw
+				// landing in that residue must not re-pick (and
+				// double-subtract) the entry.
+				break
+			}
+			chosen[nChosen] = i
+			nChosen++
+			b.Link(b.recs[sid].ASN, b.recs[b.tier2IDs[i]].ASN)
+			// Remove from this stub's remaining choices.
+			tree.Add(i, -base[i]*mult(i, region))
+		}
+		// Restore the chosen entries with their weight grown by the new
+		// customer link, and propagate that growth to every region tree.
+		for c := 0; c < nChosen; c++ {
+			i := chosen[c]
+			old := base[i]
+			base[i] = old + 1
+			for r := 0; r < ixp.NumRegions; r++ {
+				m := mult(i, ixp.Region(r))
+				if r == int(region) {
+					trees[r].Add(i, base[i]*m) // was removed entirely
+				} else {
+					trees[r].Add(i, m) // weight grew by 1·mult
+				}
+			}
+		}
+	}
+}
+
+func containsID(ids []int32, x int32) bool {
+	for _, v := range ids {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 func (b *Builder) addSiblings() {
@@ -285,141 +372,167 @@ func (b *Builder) assignPrefixes() {
 	}
 }
 
-// eligible returns the membership candidate pool for an IXP region.
-func (b *Builder) eligible(region ixp.Region) []bgp.ASN {
-	var out []bgp.ASN
-	for _, asn := range b.Order {
-		as := b.AS(asn)
+// eligibleIDs returns the membership candidate pool for an IXP region,
+// as dense ids in ascending-ASN order.
+func (b *Builder) eligibleIDs(region ixp.Region) []int32 {
+	out := make([]int32, 0, len(b.orderIDs))
+	for _, id := range b.orderIDs {
+		as := &b.recs[id]
 		switch {
 		case as.Content:
-			out = append(out, asn)
+			out = append(out, id)
 		case as.Region == region:
-			out = append(out, asn)
+			out = append(out, id)
 		case as.Scope == peeringdb.ScopeGlobal:
-			out = append(out, asn)
+			out = append(out, id)
 		case as.Scope == peeringdb.ScopeEurope && region.IsEurope():
-			out = append(out, asn)
+			out = append(out, id)
 		}
 	}
 	return out
 }
 
+// buildIXPs samples every profile's membership on the worker pool: one
+// (stage, IXP) random stream each, reading only the fixed AS slab, with
+// the membership commit (IXP append, PeeringDB registration) applied in
+// profile order.
 func (b *Builder) buildIXPs() {
-	for _, prof := range b.Cfg.Profiles {
-		members := b.Cfg.scaled(prof.Members)
-		rsMembers := b.Cfg.scaled(prof.RSMembers)
-		if rsMembers > members {
-			rsMembers = members
-		}
-		pool := b.eligible(prof.Region)
-		weights := make([]float64, len(pool))
-		for i, asn := range pool {
-			as := b.AS(asn)
-			switch {
-			case as.Content:
-				weights[i] = 40
-			case as.Tier == Tier1:
-				weights[i] = 6
-			case as.Tier == Tier2 && as.Region == prof.Region:
-				weights[i] = 8
-			case as.Tier == Tier2:
-				weights[i] = 3
-			case as.Region == prof.Region:
-				weights[i] = 2.5
-			default:
-				weights[i] = 0.4
-			}
-		}
-		// Sample in two passes: first the backbone of the membership,
-		// then a co-location pass that prefers customers of already
-		// selected transit members. ISPs bring their cones to the
-		// exchange, and both provider and customer announcing the same
-		// customer prefixes to the route server is what produces the
-		// multi-advertiser prefixes of Fig. 5.
-		memberList := weightedSample(b.rng, pool, weights, members*3/5)
-		selected := make(map[bgp.ASN]bool, len(memberList))
-		for _, m := range memberList {
-			selected[m] = true
-		}
-		var pool2 []bgp.ASN
-		var weights2 []float64
-		for i, asn := range pool {
-			if selected[asn] {
-				continue
-			}
-			w := weights[i]
-			for _, p := range b.AS(asn).Providers {
-				if selected[p] {
-					// Weight accumulates per co-located provider:
-					// multihomed customers of several members are the
-					// strongest multi-advertiser source.
-					w += 25
-				}
-			}
-			pool2 = append(pool2, asn)
-			weights2 = append(weights2, w)
-		}
-		memberList = append(memberList, weightedSample(b.rng, pool2, weights2, members-len(memberList))...)
+	b.fanOut("ixps", len(b.Cfg.Profiles),
+		func(i int) string { return b.Cfg.Profiles[i].Name },
+		func(rng *rand.Rand, pi int) func() { return b.buildOneIXP(rng, b.Cfg.Profiles[pi]) })
+}
 
-		// RS membership: weighted by actual peering policy (Fig. 9).
-		joinProb := func(p peeringdb.Policy) float64 {
-			switch p {
-			case peeringdb.PolicyOpen:
-				return 0.92
-			case peeringdb.PolicySelective:
-				return 0.75
-			case peeringdb.PolicyRestrictive:
-				return 0.43
-			default:
-				return 0.80
+func (b *Builder) buildOneIXP(rng *rand.Rand, prof IXPProfile) func() {
+	members := b.Cfg.memberTarget(prof)
+	rsMembers := b.Cfg.rsMemberTarget(prof)
+	if rsMembers > members {
+		rsMembers = members
+	}
+	pool := b.eligibleIDs(prof.Region)
+	weights := make([]float64, len(pool))
+	for i, id := range pool {
+		as := &b.recs[id]
+		switch {
+		case as.Content:
+			weights[i] = 40
+		case as.Tier == Tier1:
+			weights[i] = 6
+		case as.Tier == Tier2 && as.Region == prof.Region:
+			weights[i] = 8
+		case as.Tier == Tier2:
+			weights[i] = 3
+		case as.Region == prof.Region:
+			weights[i] = 2.5
+		default:
+			weights[i] = 0.4
+		}
+	}
+	// Sample in two passes: first the backbone of the membership,
+	// then a co-location pass that prefers customers of already
+	// selected transit members. ISPs bring their cones to the
+	// exchange, and both provider and customer announcing the same
+	// customer prefixes to the route server is what produces the
+	// multi-advertiser prefixes of Fig. 5.
+	memberIDs := weightedSampleIDs(rng, pool, weights, members*3/5)
+	s := b.scratch()
+	selected := s.member
+	for _, id := range memberIDs {
+		selected[id] = true
+	}
+	pool2 := make([]int32, 0, len(pool)-len(memberIDs))
+	weights2 := make([]float64, 0, len(pool)-len(memberIDs))
+	for i, id := range pool {
+		if selected[id] {
+			continue
+		}
+		w := weights[i]
+		for _, p := range b.recs[id].Providers {
+			if pid, ok := b.byASN[p]; ok && selected[pid] {
+				// Weight accumulates per co-located provider:
+				// multihomed customers of several members are the
+				// strongest multi-advertiser source.
+				w += 25
 			}
 		}
-		shuffled := append([]bgp.ASN(nil), memberList...)
-		b.rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
-		var rs []bgp.ASN
-		for _, m := range shuffled {
-			if len(rs) >= rsMembers {
-				break
-			}
-			if b.rng.Float64() < joinProb(b.AS(m).Policy) {
-				rs = append(rs, m)
-			}
-		}
-		// Pad if the probabilistic pass fell short of the target.
-		for _, m := range shuffled {
-			if len(rs) >= rsMembers {
-				break
-			}
-			if !containsUnsorted(rs, m) {
-				rs = append(rs, m)
-			}
-		}
+		pool2 = append(pool2, id)
+		weights2 = append(weights2, w)
+	}
+	memberIDs = append(memberIDs, weightedSampleIDs(rng, pool2, weights2, members-len(memberIDs))...)
+	clearMarks(selected, memberIDs)
+	b.release(s)
 
-		var scheme ixp.Scheme
-		if prof.Style == StylePrivateRange {
-			scheme = ixp.PrivateRangeScheme(prof.RSASN)
-		} else {
-			scheme = ixp.StandardScheme(prof.RSASN)
+	memberList := make([]bgp.ASN, len(memberIDs))
+	for i, id := range memberIDs {
+		memberList[i] = b.recs[id].ASN
+	}
+
+	// RS membership: weighted by actual peering policy (Fig. 9).
+	joinProb := func(p peeringdb.Policy) float64 {
+		switch p {
+		case peeringdb.PolicyOpen:
+			return 0.92
+		case peeringdb.PolicySelective:
+			return 0.75
+		case peeringdb.PolicyRestrictive:
+			return 0.43
+		default:
+			return 0.80
 		}
-		info := &ixp.Info{
-			Name:                prof.Name,
-			Region:              prof.Region,
-			Scheme:              scheme,
-			Members:             memberList,
-			RSMembers:           rs,
-			HasLG:               prof.HasLG,
-			PublishesMemberList: prof.PublishesMemberList,
-			StripsCommunities:   prof.StripsCommunities,
-			Transparent:         true,
-			FlatFee:             prof.FlatFee,
+	}
+	shuffled := append([]bgp.ASN(nil), memberList...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	var rs []bgp.ASN
+	for _, m := range shuffled {
+		if len(rs) >= rsMembers {
+			break
 		}
+		if rng.Float64() < joinProb(b.AS(m).Policy) {
+			rs = append(rs, m)
+		}
+	}
+	// Pad if the probabilistic pass fell short of the target.
+	for _, m := range shuffled {
+		if len(rs) >= rsMembers {
+			break
+		}
+		if !containsUnsorted(rs, m) {
+			rs = append(rs, m)
+		}
+	}
+
+	var scheme ixp.Scheme
+	if prof.Style == StylePrivateRange {
+		scheme = ixp.PrivateRangeScheme(prof.RSASN)
+	} else {
+		scheme = ixp.StandardScheme(prof.RSASN)
+	}
+	info := &ixp.Info{
+		Name:                prof.Name,
+		Region:              prof.Region,
+		Scheme:              scheme,
+		Members:             memberList,
+		RSMembers:           rs,
+		HasLG:               prof.HasLG,
+		PublishesMemberList: prof.PublishesMemberList,
+		StripsCommunities:   prof.StripsCommunities,
+		Transparent:         true,
+		FlatFee:             prof.FlatFee,
+	}
+
+	// PeeringDB registration draws happen here, unconditionally, so
+	// they cannot depend on what other IXPs committed; the commit
+	// applies them only to members still unregistered at its turn.
+	regDraw := make([]bool, len(memberList))
+	for i := range memberList {
+		regDraw[i] = rng.Float64() < b.Cfg.RegisteredFrac
+	}
+
+	return func() {
 		b.IXPs = append(b.IXPs, info)
-
-		// PeeringDB registration for members.
-		for _, m := range memberList {
+		for i, m := range memberList {
 			as := b.AS(m)
 			if !as.Registered {
-				as.Registered = b.rng.Float64() < b.Cfg.RegisteredFrac || as.Content
+				as.Registered = regDraw[i] || as.Content
 			}
 		}
 	}

@@ -58,6 +58,13 @@ type IXPProfile struct {
 	// communities (none of the 13 studied IXPs do; kept for the
 	// limitation experiments of §5.8).
 	StripsCommunities bool
+
+	// Absolute marks Members/RSMembers as final counts that
+	// Config.Scale must not multiply. The scaled-world scenario uses it
+	// to grow the number of IXPs with Scale while keeping each
+	// exchange's membership realistic (and its 16-bit community alias
+	// table satisfiable).
+	Absolute bool
 }
 
 // PaperIXPProfiles returns the 13 IXPs of Table 2. RS ASNs for DE-CIX
@@ -167,6 +174,11 @@ type Config struct {
 	// accurate aut-num/as-set in the IRR (drives LINX-style discovery
 	// and §4.4 reciprocity validation).
 	IRRRegistrationFrac float64
+
+	// Workers bounds the goroutines running per-IXP generation stages:
+	// 0 uses GOMAXPROCS, 1 forces sequential execution. The generated
+	// world is bit-identical for every value.
+	Workers int
 }
 
 // DefaultConfig is full paper scale.
@@ -206,4 +218,26 @@ func (c Config) scaled(n int) int {
 		v = 4
 	}
 	return v
+}
+
+// memberTarget returns the membership size to build for prof.
+func (c Config) memberTarget(prof IXPProfile) int {
+	if prof.Absolute {
+		if prof.Members < 4 {
+			return 4
+		}
+		return prof.Members
+	}
+	return c.scaled(prof.Members)
+}
+
+// rsMemberTarget returns the route-server membership size for prof.
+func (c Config) rsMemberTarget(prof IXPProfile) int {
+	if prof.Absolute {
+		if prof.RSMembers < 4 {
+			return 4
+		}
+		return prof.RSMembers
+	}
+	return c.scaled(prof.RSMembers)
 }

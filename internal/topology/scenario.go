@@ -124,6 +124,21 @@ func insertAfter(stages []Stage, after string, extra ...Stage) []Stage {
 	panic("topology: no stage named " + after)
 }
 
+// insertBefore mirrors insertAfter for splicing ahead of the anchor
+// (e.g. profile rewrites that must precede AS-pool allocation).
+func insertBefore(stages []Stage, before string, extra ...Stage) []Stage {
+	for i, st := range stages {
+		if st.Name == before {
+			out := make([]Stage, 0, len(stages)+len(extra))
+			out = append(out, stages[:i]...)
+			out = append(out, extra...)
+			out = append(out, stages[i:]...)
+			return out
+		}
+	}
+	panic("topology: no stage named " + before)
+}
+
 func init() {
 	RegisterScenario(&Scenario{
 		Name:        "baseline",

@@ -44,7 +44,7 @@ func generateScenario(t *testing.T, name string) *Topology {
 
 func TestScenarioRegistry(t *testing.T) {
 	names := ScenarioNames()
-	want := []string{"baseline", "multi-ixp-hybrid", "pari-noise", "remote-peering"}
+	want := []string{"baseline", "multi-ixp-hybrid", "pari-noise", "remote-peering", "scaled-world"}
 	if len(names) < len(want) {
 		t.Fatalf("scenarios = %v", names)
 	}
@@ -63,64 +63,109 @@ func TestScenarioRegistry(t *testing.T) {
 	}
 }
 
-// TestScenarioGoldenCounts pins the world shape of every scenario at
-// the fixed test seed. These are exact: the generator is fully
-// deterministic, and any drift here means reproducibility broke.
-func TestScenarioGoldenCounts(t *testing.T) {
-	cases := []struct {
-		scenario                     string
-		ases, members, rs            int
-		transitLinks, bilateralLinks int
-		remote                       int
-	}{
-		{"baseline", 919, 211, 183, 2188, 727, 0},
-		{"remote-peering", 919, 233, 205, 2251, 890, 67},
-		{"multi-ixp-hybrid", 919, 211, 183, 2188, 1327, 0},
-		{"pari-noise", 919, 219, 189, 2189, 774, 0},
+// scenarioGolden pins a scenario's complete world at one (seed, scale):
+// aggregate shape counts plus the full-world fingerprint covering every
+// relationship edge, filter, community set, feeder and LG. The values
+// were captured from the per-(stage, IXP)-stream stage pipeline (PR 3's
+// parallel restructuring deliberately re-keyed the generator's random
+// streams); any drift here means seed reproducibility broke again.
+type scenarioGolden struct {
+	scenario                     string
+	scale                        float64 // 0 = test scale (0.12)
+	ases, members, rs            int
+	transitLinks, bilateralLinks int
+	remote                       int
+	fingerprint                  uint64
+}
+
+// Test-scale goldens for every registered scenario.
+var testScaleGoldens = []scenarioGolden{
+	{"baseline", 0, 919, 221, 184, 2188, 720, 0, 0xd3562d0cd50d7d75},
+	{"remote-peering", 0, 919, 245, 207, 2251, 882, 67, 0xad8579445caa2c22},
+	{"multi-ixp-hybrid", 0, 919, 221, 184, 2188, 1242, 0, 0x60192e4ae605a844},
+	{"pari-noise", 0, 919, 221, 184, 2189, 757, 0, 0x237f8137020886f1},
+	{"scaled-world", 0, 919, 221, 184, 2188, 881, 0, 0x22df6b67d21ac5ea},
+}
+
+// Scale > 1 goldens: scenarios were previously pinned only at test
+// scale; these keep the 10-100x path deterministic too. scaled-world at
+// Scale 4 exercises the profile expansion (extra synthetic IXPs).
+var scaledGoldens = []scenarioGolden{
+	{"remote-peering", 2, 9043, 3645, 3229, 23047, 164609, 1154, 0xef9d9fbe9bccb71c},
+	{"pari-noise", 2, 9043, 3359, 2944, 22340, 124111, 0, 0xf1dcbbbfe5de2c66},
+	{"scaled-world", 4, 10982, 4158, 3669, 26693, 120737, 0, 0x51b13940a62af060},
+}
+
+func checkGolden(t *testing.T, topo *Topology, c scenarioGolden) {
+	t.Helper()
+	st := topo.Stats()
+	if st.ASes != c.ases {
+		t.Errorf("ASes = %d, want %d", st.ASes, c.ases)
 	}
-	for _, c := range cases {
+	if st.IXPMembers != c.members {
+		t.Errorf("IXP members = %d, want %d", st.IXPMembers, c.members)
+	}
+	if st.RSMembers != c.rs {
+		t.Errorf("RS members = %d, want %d", st.RSMembers, c.rs)
+	}
+	if st.TransitLinks != c.transitLinks {
+		t.Errorf("transit links = %d, want %d", st.TransitLinks, c.transitLinks)
+	}
+	if st.BilateralLinks != c.bilateralLinks {
+		t.Errorf("bilateral links = %d, want %d", st.BilateralLinks, c.bilateralLinks)
+	}
+	remote := 0
+	for _, ms := range topo.RemoteMembers {
+		remote += len(ms)
+	}
+	if remote != c.remote {
+		t.Errorf("remote members = %d, want %d", remote, c.remote)
+	}
+	if fp := worldFingerprint(topo); fp != c.fingerprint {
+		t.Errorf("world fingerprint = %#x, want %#x (seed reproducibility broke)", fp, c.fingerprint)
+	}
+}
+
+func TestScenarioGoldenCounts(t *testing.T) {
+	for _, c := range testScaleGoldens {
 		t.Run(c.scenario, func(t *testing.T) {
-			topo := generateScenario(t, c.scenario)
-			st := topo.Stats()
-			if st.ASes != c.ases {
-				t.Errorf("ASes = %d, want %d", st.ASes, c.ases)
+			checkGolden(t, generateScenario(t, c.scenario), c)
+		})
+	}
+}
+
+// TestScenarioScaleMatrix pins the scenario × scale matrix beyond test
+// scale: golden shape plus determinism (two builds, identical worlds).
+func TestScenarioScaleMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-ms worlds; skipped in -short")
+	}
+	for _, c := range scaledGoldens {
+		t.Run(fmt.Sprintf("%s@%v", c.scenario, c.scale), func(t *testing.T) {
+			cfg := TestConfig()
+			cfg.Scenario = c.scenario
+			cfg.Scale = c.scale
+			topo, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if st.IXPMembers != c.members {
-				t.Errorf("IXP members = %d, want %d", st.IXPMembers, c.members)
+			checkGolden(t, topo, c)
+			again, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if st.RSMembers != c.rs {
-				t.Errorf("RS members = %d, want %d", st.RSMembers, c.rs)
-			}
-			if st.TransitLinks != c.transitLinks {
-				t.Errorf("transit links = %d, want %d", st.TransitLinks, c.transitLinks)
-			}
-			if st.BilateralLinks != c.bilateralLinks {
-				t.Errorf("bilateral links = %d, want %d", st.BilateralLinks, c.bilateralLinks)
-			}
-			remote := 0
-			for _, ms := range topo.RemoteMembers {
-				remote += len(ms)
-			}
-			if remote != c.remote {
-				t.Errorf("remote members = %d, want %d", remote, c.remote)
+			if worldFingerprint(topo) != worldFingerprint(again) {
+				t.Error("same seed produced different worlds at scale")
 			}
 		})
 	}
 }
 
-// baselineTestFingerprint pins the complete baseline world at the test
-// seed — every relationship edge, filter, community set, feeder and LG.
-// It was captured from the pre-refactor map-based generator, which the
-// stage pipeline reproduces bit-for-bit; drift here means seed
-// reproducibility of the paper world broke (an RNG draw moved), even if
-// the aggregate counts above still match.
-const baselineTestFingerprint = 0xfc5dc19f7bb1b364
-
 func TestScenarioDeterminism(t *testing.T) {
 	baseFP := worldFingerprint(generateScenario(t, "baseline"))
-	if baseFP != baselineTestFingerprint {
+	if baseFP != testScaleGoldens[0].fingerprint {
 		t.Errorf("baseline world fingerprint = %#x, want %#x (seed reproducibility broke)",
-			baseFP, uint64(baselineTestFingerprint))
+			baseFP, testScaleGoldens[0].fingerprint)
 	}
 	for _, name := range ScenarioNames() {
 		a := worldFingerprint(generateScenario(t, name))
@@ -131,6 +176,29 @@ func TestScenarioDeterminism(t *testing.T) {
 		if name != "baseline" && a == baseFP {
 			t.Errorf("scenario %s produced the baseline world verbatim", name)
 		}
+	}
+}
+
+// TestParallelGenerationBitIdentical is the parallel pipeline's
+// contract: for every scenario, the world built on a worker pool is
+// bit-identical to sequential execution — and both match the pinned
+// fingerprint, so parallelism can never silently re-seed the world.
+func TestParallelGenerationBitIdentical(t *testing.T) {
+	for _, c := range testScaleGoldens {
+		t.Run(c.scenario, func(t *testing.T) {
+			for _, workers := range []int{1, 3, 8} {
+				cfg := TestConfig()
+				cfg.Scenario = c.scenario
+				cfg.Workers = workers
+				topo, err := Generate(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if fp := worldFingerprint(topo); fp != c.fingerprint {
+					t.Errorf("workers=%d: fingerprint %#x, want %#x", workers, fp, c.fingerprint)
+				}
+			}
+		})
 	}
 }
 
@@ -187,6 +255,46 @@ func TestHybridScenarioBoostsPresence(t *testing.T) {
 	}
 	if len(hyb.BilateralLinks()) <= len(base.BilateralLinks()) {
 		t.Fatal("hybrid world must add parallel bilateral sessions")
+	}
+}
+
+// TestScaledWorldGrowsIXPs pins the scaled-world growth axis: Scale
+// buys more exchanges (bounded per-IXP membership), never alias-table
+// exhaustion.
+func TestScaledWorldGrowsIXPs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a Scale-6 world")
+	}
+	cfg := TestConfig()
+	cfg.Scenario = "scaled-world"
+	cfg.Scale = 6
+	topo, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(topo.IXPs), 13+int(cfg.Scale*2); got != want {
+		t.Errorf("IXPs = %d, want %d", got, want)
+	}
+	for _, info := range topo.IXPs {
+		if len(info.Members) > scaledMemberCap+scaledMemberCap/4 {
+			t.Errorf("%s: %d members exceeds the scaled cap (plus hybrid growth)", info.Name, len(info.Members))
+		}
+	}
+	// Hybrid presence must make multi-IXP membership common.
+	presence := map[string]int{}
+	for _, info := range topo.IXPs {
+		for _, m := range info.Members {
+			presence[m.String()]++
+		}
+	}
+	multi := 0
+	for _, n := range presence {
+		if n > 1 {
+			multi++
+		}
+	}
+	if frac := float64(multi) / float64(len(presence)); frac < 0.10 {
+		t.Errorf("multi-IXP members = %.2f of pool, want >= 0.10", frac)
 	}
 }
 

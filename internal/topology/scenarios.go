@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"math/rand"
 	"sort"
 
 	"mlpeering/internal/bgp"
@@ -8,10 +9,11 @@ import (
 )
 
 // This file defines the non-baseline world scenarios. Each splices
-// extra stages into the baseline pipeline and draws its randomness from
-// an independent StageRNG stream, so a scenario world is always the
-// baseline world plus the scenario's additions — never a perturbation
-// of baseline draws.
+// extra stages into the baseline pipeline; per-IXP stages draw from
+// independent (stage, IXP) streams and run on the worker pool like the
+// baseline's, while world-global stages keep a single StageRNG stream —
+// so a scenario world is always the baseline world plus the scenario's
+// additions, never a perturbation of baseline draws.
 
 func init() {
 	RegisterScenario(&Scenario{
@@ -38,6 +40,17 @@ func init() {
 		Stages: insertAfter(baselineStages(), "private-peering",
 			stage("pari-noise", (*Builder).addPARINoise)),
 	})
+	RegisterScenario(&Scenario{
+		Name: "scaled-world",
+		Description: "the 10-100x world: Config.Scale grows the number of IXPs " +
+			"toward hundreds of exchanges with realistic member counts, plus " +
+			"boosted multi-IXP presence (remote-peering-era workloads)",
+		Stages: insertAfter(
+			insertBefore(baselineStages(), "allocate-ases",
+				stage("scaled-ixps", (*Builder).expandIXPProfiles)),
+			"ixps",
+			stage("hybrid-presence", (*Builder).addHybridPresence)),
+	})
 }
 
 // --- remote-peering ---------------------------------------------------
@@ -52,14 +65,20 @@ const remoteFrac = 0.20
 // virtual port plus transit toward the exchange. Remote members join
 // the route server like any other member, which is exactly why the
 // paper's method cannot tell them apart — the ground truth lands in
-// Topology.RemoteMembers.
+// Topology.RemoteMembers. Selection is per-IXP compute; membership,
+// transit link and registration mutations land in the ordered commits.
 func (b *Builder) addRemoteMembers() {
-	rng := b.StageRNG("remote-members")
 	b.RemoteMembers = make(map[string][]bgp.ASN, len(b.IXPs))
-	for _, info := range b.IXPs {
-		memberSet := make(map[bgp.ASN]bool, len(info.Members))
+	b.fanOutIXPs("remote-members", func(rng *rand.Rand, xi int) func() {
+		info := b.IXPs[xi]
+		s := b.scratch()
+		memberSet := s.member
+		memberVisited := make([]int32, 0, len(info.Members))
 		for _, m := range info.Members {
-			memberSet[m] = true
+			if id, ok := b.byASN[m]; ok {
+				memberSet[id] = true
+				memberVisited = append(memberVisited, id)
+			}
 		}
 
 		// Resellers: local transit members with customers of their own.
@@ -72,51 +91,69 @@ func (b *Builder) addRemoteMembers() {
 		}
 		sort.Slice(resellers, func(i, j int) bool { return resellers[i] < resellers[j] })
 		if len(resellers) == 0 {
-			continue
+			clearMarks(memberSet, memberVisited)
+			b.release(s)
+			return nil
 		}
 		if len(resellers) > 4 {
 			resellers = resellers[:4]
 		}
 
-		// Candidates: out-of-region edge networks not present yet.
-		var cands []bgp.ASN
-		for _, asn := range b.Order {
-			as := b.AS(asn)
-			if memberSet[asn] || as.Content || as.Tier == Tier1 {
+		type remoteAdd struct {
+			asn, reseller bgp.ASN
+			joinRS, reg   bool
+		}
+		var adds []remoteAdd
+		want := int(float64(len(info.Members))*remoteFrac + 0.5)
+		for _, id := range b.orderIDs {
+			if len(adds) >= want {
+				break
+			}
+			as := &b.recs[id]
+			if memberSet[id] || as.Content || as.Tier == Tier1 {
 				continue
 			}
 			if as.Region == info.Region {
 				continue
 			}
-			cands = append(cands, asn)
-		}
-
-		want := int(float64(len(info.Members))*remoteFrac + 0.5)
-		for _, asn := range cands {
-			if len(b.RemoteMembers[info.Name]) >= want {
-				break
-			}
 			if rng.Float64() > 0.35 {
 				continue
 			}
 			reseller := resellers[rng.Intn(len(resellers))]
-			if asn == reseller {
+			if as.ASN == reseller {
 				continue
 			}
-			// The virtual port rides on transit from the reseller.
-			b.Link(asn, reseller)
-			info.Members = append(info.Members, asn)
-			memberSet[asn] = true
-			if rng.Float64() < 0.85 {
-				info.RSMembers = append(info.RSMembers, asn)
-			}
-			as := b.AS(asn)
-			if !as.Registered {
-				as.Registered = rng.Float64() < b.Cfg.RegisteredFrac
-			}
-			b.RemoteMembers[info.Name] = append(b.RemoteMembers[info.Name], asn)
+			// Registration is drawn here, unconditionally, and applied
+			// in the commit only if the AS is still unregistered: the
+			// draw must not depend on other IXPs' commits.
+			adds = append(adds, remoteAdd{
+				asn:      as.ASN,
+				reseller: reseller,
+				joinRS:   rng.Float64() < 0.85,
+				reg:      rng.Float64() < b.Cfg.RegisteredFrac,
+			})
 		}
-	}
+		clearMarks(memberSet, memberVisited)
+		b.release(s)
+		if len(adds) == 0 {
+			return nil
+		}
+		return func() {
+			for _, a := range adds {
+				// The virtual port rides on transit from the reseller.
+				b.Link(a.asn, a.reseller)
+				info.Members = append(info.Members, a.asn)
+				if a.joinRS {
+					info.RSMembers = append(info.RSMembers, a.asn)
+				}
+				as := b.AS(a.asn)
+				if !as.Registered {
+					as.Registered = a.reg
+				}
+				b.RemoteMembers[info.Name] = append(b.RemoteMembers[info.Name], a.asn)
+			}
+		}
+	})
 }
 
 // --- multi-ixp-hybrid -------------------------------------------------
@@ -124,35 +161,48 @@ func (b *Builder) addRemoteMembers() {
 // addHybridPresence joins existing route-server members to additional
 // IXPs they are eligible for, producing the multi-IXP presence matrix
 // (Fig. 10) of a world where large peers meet at several exchanges.
+// The RS-member pool is snapshotted before the fan-out, so each IXP's
+// additions are independent of the others'.
 func (b *Builder) addHybridPresence() {
-	rng := b.StageRNG("hybrid-presence")
-	rsAnywhere := make(map[bgp.ASN]bool)
+	rsAnywhere := make([]bool, len(b.recs))
 	for _, info := range b.IXPs {
 		for _, m := range info.RSMembers {
-			rsAnywhere[m] = true
+			if id, ok := b.byASN[m]; ok {
+				rsAnywhere[id] = true
+			}
 		}
 	}
-	var pool []bgp.ASN
-	for _, asn := range b.Order { // ascending, deterministic
-		if rsAnywhere[asn] {
-			pool = append(pool, asn)
+	var pool []int32
+	for _, id := range b.orderIDs { // ascending ASN, deterministic
+		if rsAnywhere[id] {
+			pool = append(pool, id)
 		}
 	}
-	for _, info := range b.IXPs {
-		memberSet := make(map[bgp.ASN]bool, len(info.Members))
+	b.fanOutIXPs("hybrid-presence", func(rng *rand.Rand, xi int) func() {
+		info := b.IXPs[xi]
+		s := b.scratch()
+		memberSet := s.member
+		memberVisited := make([]int32, 0, len(info.Members))
 		for _, m := range info.Members {
-			memberSet[m] = true
+			if id, ok := b.byASN[m]; ok {
+				memberSet[id] = true
+				memberVisited = append(memberVisited, id)
+			}
 		}
+		type joiner struct {
+			asn    bgp.ASN
+			joinRS bool
+		}
+		var adds []joiner
 		maxAdd := len(info.Members) / 4 // keep growth bounded at every scale
-		added := 0
-		for _, asn := range pool {
-			if added >= maxAdd {
+		for _, id := range pool {
+			if len(adds) >= maxAdd {
 				break
 			}
-			if memberSet[asn] {
+			if memberSet[id] {
 				continue
 			}
-			as := b.AS(asn)
+			as := &b.recs[id]
 			// Same eligibility shape as the membership stage: locals,
 			// global players, Europe-scope networks at European IXPs.
 			eligible := as.Region == info.Region ||
@@ -161,14 +211,22 @@ func (b *Builder) addHybridPresence() {
 			if !eligible || rng.Float64() > 0.30 {
 				continue
 			}
-			info.Members = append(info.Members, asn)
-			memberSet[asn] = true
-			if rng.Float64() < 0.90 {
-				info.RSMembers = append(info.RSMembers, asn)
-			}
-			added++
+			adds = append(adds, joiner{asn: as.ASN, joinRS: rng.Float64() < 0.90})
 		}
-	}
+		clearMarks(memberSet, memberVisited)
+		b.release(s)
+		if len(adds) == 0 {
+			return nil
+		}
+		return func() {
+			for _, a := range adds {
+				info.Members = append(info.Members, a.asn)
+				if a.joinRS {
+					info.RSMembers = append(info.RSMembers, a.asn)
+				}
+			}
+		}
+	})
 }
 
 // addHybridBilateral adds parallel bilateral sessions between
@@ -176,32 +234,53 @@ func (b *Builder) addHybridPresence() {
 // RS paths from best-path vantage points — and makes a slice of those
 // members prefer the bilateral sessions.
 func (b *Builder) addHybridBilateral() {
-	rng := b.StageRNG("hybrid-bilateral")
-	presence := make(map[bgp.ASN]int)
+	presence := make([]int32, len(b.recs))
 	for _, info := range b.IXPs {
 		for _, m := range info.RSMembers {
-			presence[m]++
+			if id, ok := b.byASN[m]; ok {
+				presence[id]++
+			}
 		}
 	}
-	for _, info := range b.IXPs {
+	b.fanOutIXPs("hybrid-bilateral", func(rng *rand.Rand, xi int) func() {
+		info := b.IXPs[xi]
 		members := info.SortedRSMembers()
+		var pairs [][2]bgp.ASN
+		var prefBil []bgp.ASN
 		for i, x := range members {
-			if presence[x] < 2 {
+			xid, ok := b.byASN[x]
+			if !ok || presence[xid] < 2 {
 				continue
 			}
 			for _, y := range members[i+1:] {
 				if rng.Float64() > 0.08 {
 					continue
 				}
-				b.Peer(x, y)
-				key := MakeLinkKey(x, y)
-				b.BilateralIXP[key] = append(b.BilateralIXP[key], info.Name)
+				// Same transit-shadowing guard as the baseline
+				// bilateral stage.
+				if xs := b.AS(x); xs.HasProvider(y) || xs.HasCustomer(y) {
+					continue
+				}
+				pairs = append(pairs, [2]bgp.ASN{x, y})
 			}
 			if rng.Float64() < 0.30 {
+				prefBil = append(prefBil, x)
+			}
+		}
+		if len(pairs) == 0 && len(prefBil) == 0 {
+			return nil
+		}
+		return func() {
+			for _, p := range pairs {
+				b.Peer(p[0], p[1])
+				key := MakeLinkKey(p[0], p[1])
+				b.BilateralIXP[key] = append(b.BilateralIXP[key], info.Name)
+			}
+			for _, x := range prefBil {
 				b.AS(x).PrefersBilateral = true
 			}
 		}
-	}
+	})
 }
 
 // --- pari-noise -------------------------------------------------------
@@ -210,7 +289,8 @@ func (b *Builder) addHybridBilateral() {
 // PARI's observation that inferred relationship datasets carry a blend
 // of link types: a slice of bilateral p2p links is demoted to transit
 // (the lower-customer-degree side becomes the customer), and a little
-// extra edge-network peering appears.
+// extra edge-network peering appears. The perturbation is a world-global
+// graph edit, not per-IXP work, so it stays on a single stage stream.
 func (b *Builder) addPARINoise() {
 	rng := b.StageRNG("pari-noise")
 
