@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mlpeering/internal/bgp"
+	"mlpeering/internal/churn"
 	"mlpeering/internal/collector"
 	"mlpeering/internal/core"
 	"mlpeering/internal/experiments"
@@ -502,6 +503,61 @@ func BenchmarkAvailableRoutes(b *testing.B) {
 			buf = tr.AvailableRoutesFromArena(vantages[i%len(vantages)].ASN, &arena, buf)
 		}
 	})
+}
+
+func BenchmarkChurnEpoch(b *testing.B) {
+	// One route-churn epoch over scaled-world@Scale-10 (33 IXPs, ~16k
+	// ASes): mutate the world, then serve a fixed warm destination
+	// sample. "incremental" patches the engine with Engine.Apply and
+	// recomputes only invalidated trees; "full-rebuild" discards the
+	// engine and rebuilds with NewEngine every epoch — the baseline the
+	// incremental path must beat.
+	cfg := topology.DefaultConfig()
+	cfg.Scenario = "scaled-world"
+	cfg.Scale = 10
+	for _, bc := range []struct {
+		name        string
+		incremental bool
+	}{
+		{"incremental", true},
+		{"full-rebuild", false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			topo, err := topology.Generate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := propagate.NewEngine(topo, len(topo.Order))
+			var warm []bgp.ASN
+			for i := 0; i < len(topo.Order); i += 32 {
+				warm = append(warm, topo.Order[i])
+			}
+			for _, d := range warm {
+				eng.Tree(d)
+			}
+			runner := churn.NewRunner(eng, churn.DefaultConfig(20130501))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				delta := runner.NextDelta()
+				if bc.incremental {
+					if _, err := eng.Apply(delta); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if err := delta.ApplyToTopology(topo); err != nil {
+						b.Fatal(err)
+					}
+					eng = propagate.NewEngine(topo, len(topo.Order))
+				}
+				for _, d := range warm {
+					if eng.Tree(d) == nil {
+						b.Fatal("nil tree")
+					}
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkFullPipeline(b *testing.B) {

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"mlpeering/internal/churn"
 	"mlpeering/internal/experiments"
 	"mlpeering/internal/topology"
 )
@@ -26,6 +27,9 @@ func main() {
 	scenario := flag.String("scenario", "baseline", "world scenario (one of: "+
 		strings.Join(topology.ScenarioNames(), ", ")+")")
 	workers := flag.Int("workers", 0, "worker goroutines for per-IXP generation stages (0 = all cores, 1 = sequential; output is identical)")
+	churnMode := flag.Bool("churn", false, "run the route-churn dynamics workload (windowed inference) instead of the paper tables")
+	churnEpochs := flag.Int("churn-epochs", 6, "churn mode: number of mutation epochs / inference windows")
+	churnInterval := flag.Duration("churn-interval", 10*time.Minute, "churn mode: epoch and inference-window duration")
 	flag.Parse()
 
 	cfg := topology.DefaultConfig()
@@ -33,6 +37,21 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Scenario = *scenario
 	cfg.Workers = *workers
+
+	if *churnMode {
+		ccfg := churn.DefaultConfig(*seed + 11)
+		ccfg.Epochs = *churnEpochs
+		ccfg.Interval = *churnInterval
+		start := time.Now()
+		res, err := experiments.RunChurn(cfg, ccfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("churn run ready in %v (scale %v, scenario %s, %d epochs)",
+			time.Since(start).Round(time.Millisecond), *scale, *scenario, ccfg.Epochs)
+		res.Render().Render(os.Stdout)
+		return
+	}
 
 	start := time.Now()
 	ctx, err := experiments.NewContext(cfg)

@@ -86,6 +86,8 @@ func main() {
 
 	fmt.Printf("hygiene filters dropped: %d bogon, %d cycle, %d transient paths\n",
 		passive.Dropped.Bogon, passive.Dropped.Cycle, passive.Dropped.Transient)
+	fmt.Printf("withdrawal churn: %d withdrawn prefixes (%d withdrawn-only updates)\n",
+		passive.Withdrawals, passive.WithdrawnOnlyUpdates)
 	fmt.Printf("passively covered setters per IXP:\n")
 	for _, name := range passive.Obs.IXPs() {
 		fmt.Printf("  %-10s %d setters\n", name, len(passive.Obs.Setters(name)))

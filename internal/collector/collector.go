@@ -18,6 +18,11 @@ import (
 	"mlpeering/internal/topology"
 )
 
+// The collector's own BGP identity on its feeder sessions.
+var collectorAddr = netip.AddrFrom4([4]byte{198, 51, 100, 1})
+
+const collectorASN bgp.ASN = 64999
+
 // Collector archives the BGP views of a set of feeders.
 type Collector struct {
 	Name    string
@@ -67,6 +72,9 @@ func New(name string, engine *propagate.Engine, feeders []topology.Feeder, worke
 
 // Feeders returns the collector's peer set.
 func (c *Collector) Feeders() []topology.Feeder { return c.feeders }
+
+// Engine returns the propagation engine the collector observes.
+func (c *Collector) Engine() *propagate.Engine { return c.engine }
 
 // exports reports whether feeder f exports its route toward a
 // destination, per its feed kind: peer-style feeders (two-thirds of
@@ -196,8 +204,9 @@ type UpdateOptions struct {
 	Seed int64
 }
 
-// WriteUpdates writes a BGP4MP update trace: mostly legitimate
-// re-announcements of existing best routes, plus the configured
+// WriteUpdates writes a BGP4MP update trace: mostly legitimate route
+// churn — paired withdraw / re-announce flaps of existing best routes,
+// the message mix real collectors archive — plus the configured
 // pollution. Updates are spread over the hour following ts.
 func (c *Collector) WriteUpdates(w io.Writer, ts time.Time, opts UpdateOptions) error {
 	mw := mrt.NewWriter(w)
@@ -215,20 +224,24 @@ func (c *Collector) WriteUpdates(w io.Writer, ts time.Time, opts UpdateOptions) 
 		return mw.Flush()
 	}
 
-	writeUpd := func(f topology.Feeder, attrs *bgp.PathAttrs, prefix bgp.Prefix, at time.Time) error {
+	writeUpd := func(f topology.Feeder, upd *bgp.Update, at time.Time) error {
 		msg := &mrt.BGP4MPMessage{
 			PeerASN:   f.ASN,
-			LocalASN:  64999,
+			LocalASN:  collectorASN,
 			PeerAddr:  c.addrs[f.ASN],
-			LocalAddr: netip.AddrFrom4([4]byte{198, 51, 100, 1}),
-			Message:   &bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{prefix}},
+			LocalAddr: collectorAddr,
+			Message:   upd,
 			AS4:       true,
 		}
 		return mw.WriteBGP4MP(at, msg)
 	}
 
 	// Each sampled route is marshaled before the next draw, so one
-	// arena rewound per iteration serves the whole trace.
+	// arena rewound per iteration serves the whole trace. A session
+	// flap is a withdrawal followed by a re-announcement of the same
+	// route moments later: the withdrawn-only UPDATE carries no path
+	// attributes at all, exactly what the passive pipeline must now
+	// tolerate (and count) instead of dropping on the floor.
 	var arena propagate.RouteArena
 	for i := 0; i < opts.Churn; i++ {
 		f := c.feeders[rng.Intn(len(c.feeders))]
@@ -241,8 +254,12 @@ func (c *Collector) WriteUpdates(w io.Writer, ts time.Time, opts UpdateOptions) 
 		}
 		prefixes := topo.ASes[d].Prefixes
 		p := prefixes[rng.Intn(len(prefixes))]
-		at := ts.Add(time.Duration(rng.Intn(3600)) * time.Second)
-		if err := writeUpd(f, c.routeAttrs(f, route), p, at); err != nil {
+		at := ts.Add(time.Duration(rng.Intn(3590)) * time.Second)
+		if err := writeUpd(f, &bgp.Update{Withdrawn: []bgp.Prefix{p}}, at); err != nil {
+			return err
+		}
+		reAt := at.Add(time.Duration(1+rng.Intn(9)) * time.Second)
+		if err := writeUpd(f, &bgp.Update{Attrs: c.routeAttrs(f, route), NLRI: []bgp.Prefix{p}}, reAt); err != nil {
 			return err
 		}
 	}
@@ -262,7 +279,7 @@ func (c *Collector) WriteUpdates(w io.Writer, ts time.Time, opts UpdateOptions) 
 			prefixes := topo.ASes[d].Prefixes
 			p := prefixes[rng.Intn(len(prefixes))]
 			at := ts.Add(time.Duration(rng.Intn(3600)) * time.Second)
-			if err := writeUpd(f, attrs, p, at); err != nil {
+			if err := writeUpd(f, &bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{p}}, at); err != nil {
 				return err
 			}
 		}

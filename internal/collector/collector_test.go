@@ -122,11 +122,27 @@ func TestWriteUpdates(t *testing.T) {
 	if len(ups) == 0 {
 		t.Fatal("no updates written")
 	}
-	cycles, bogons := 0, 0
+	cycles, bogons, withdrawnOnly, paired := 0, 0, 0, 0
+	withdrawnAt := make(map[bgp.Prefix]bool)
 	for _, u := range ups {
 		upd, ok := u.Message.(*bgp.Update)
 		if !ok {
 			t.Fatalf("message type %T", u.Message)
+		}
+		if upd.Attrs == nil {
+			if len(upd.Withdrawn) == 0 {
+				t.Fatal("update with neither attributes nor withdrawals")
+			}
+			withdrawnOnly++
+			for _, p := range upd.Withdrawn {
+				withdrawnAt[p] = true
+			}
+			continue
+		}
+		for _, p := range upd.NLRI {
+			if withdrawnAt[p] {
+				paired++
+			}
 		}
 		if upd.Attrs.ASPath.HasCycle() {
 			cycles++
@@ -143,6 +159,89 @@ func TestWriteUpdates(t *testing.T) {
 	}
 	if bogons == 0 {
 		t.Fatal("bogon paths missing")
+	}
+	// Churn must be paired withdraw/re-announce flaps, not announce-only.
+	if withdrawnOnly == 0 {
+		t.Fatal("no withdrawn-only updates: churn is announce-only again")
+	}
+	if paired == 0 {
+		t.Fatal("no withdraw followed by a re-announcement of the same prefix")
+	}
+}
+
+// TestUpdateStreamDiffsEpoch exercises the epoch diff stream directly:
+// a prefix move must withdraw from the old origin's announcements and
+// announce from the new one.
+func TestUpdateStreamDiffsEpoch(t *testing.T) {
+	e := testEngine(t)
+	topo := e.Topology()
+	c := New("rrc-test", e, nil, 2)
+	stream := NewUpdateStream(c)
+
+	// Find an AS with a prefix and a distinct recipient.
+	var from, to bgp.ASN
+	var p bgp.Prefix
+	for _, asn := range topo.Order {
+		if len(topo.ASes[asn].Prefixes) > 0 {
+			from = asn
+			p = topo.ASes[asn].Prefixes[0]
+			break
+		}
+	}
+	for _, asn := range topo.Order {
+		if asn != from {
+			to = asn
+			break
+		}
+	}
+	delta := &propagate.Delta{Prefixes: []propagate.PrefixOp{{Prefix: p, From: from, To: to}}}
+	dirty, err := e.Apply(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ts := time.Date(2013, 5, 1, 2, 0, 0, 0, time.UTC)
+	ann, wd, err := stream.WriteEpoch(&buf, ts, 10*time.Minute, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann == 0 || wd == 0 {
+		t.Fatalf("prefix move produced ann=%d wd=%d", ann, wd)
+	}
+	ups, err := mrt.ReadUpdates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawWithdraw, sawAnnounce := false, false
+	for _, u := range ups {
+		upd := u.Message.(*bgp.Update)
+		for _, q := range upd.Withdrawn {
+			if q == p {
+				sawWithdraw = true
+			}
+		}
+		for _, q := range upd.NLRI {
+			if q == p {
+				sawAnnounce = true
+				path := upd.Attrs.ASPath.Flatten()
+				if path[len(path)-1] != to {
+					t.Fatalf("re-announced path %v does not end at new origin %s", path, to)
+				}
+			}
+		}
+	}
+	if !sawWithdraw || !sawAnnounce {
+		t.Fatalf("moved prefix: withdraw=%v announce=%v", sawWithdraw, sawAnnounce)
+	}
+
+	// A second epoch with no mutation emits nothing.
+	var buf2 bytes.Buffer
+	ann2, wd2, err := stream.WriteEpoch(&buf2, ts.Add(10*time.Minute), 10*time.Minute, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann2 != 0 || wd2 != 0 {
+		t.Fatalf("idempotent epoch re-diff emitted ann=%d wd=%d", ann2, wd2)
 	}
 }
 

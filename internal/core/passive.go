@@ -35,6 +35,12 @@ type PassiveResult struct {
 	// the RS setter could not be pinpointed (§4.2 case 1), and
 	// IXPUnresolved those where no unique IXP could be identified.
 	SetterUnresolved, IXPUnresolved int
+	// Withdrawals counts withdrawn prefixes seen in the update trace and
+	// WithdrawnOnlyUpdates the UPDATEs that carried only withdrawals (no
+	// NLRI, no attributes). Withdrawals end route lifetimes in windowed
+	// mode (RunPassiveWindows); in snapshot mode they are tallied so
+	// announce/withdraw churn is no longer silently invisible.
+	Withdrawals, WithdrawnOnlyUpdates int
 }
 
 // RunPassive mines MRT archives per §4.2: hygiene-filter the paths,
@@ -76,7 +82,14 @@ func RunPassive(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Dictionar
 	}
 	for _, u := range updates {
 		upd, ok := u.Message.(*bgp.Update)
-		if !ok || upd.Attrs == nil {
+		if !ok {
+			continue
+		}
+		res.Withdrawals += len(upd.Withdrawn)
+		if upd.Attrs == nil || len(upd.NLRI) == 0 {
+			if len(upd.Withdrawn) > 0 {
+				res.WithdrawnOnlyUpdates++
+			}
 			continue
 		}
 		id := store.InternASPath(upd.Attrs.ASPath)

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/mrt"
+	"mlpeering/internal/paths"
+	"mlpeering/internal/relation"
+	"mlpeering/internal/topology"
+)
+
+// WindowOptions parameterizes RunPassiveWindows.
+type WindowOptions struct {
+	// Start is the first window's opening time; updates before it are
+	// folded into the base RIB state without emitting a window.
+	Start time.Time
+	// Window is each inference window's duration.
+	Window time.Duration
+	// Count is the number of windows to emit. Windows past the last
+	// update still run (over the then-static live table).
+	Count int
+}
+
+// PassiveWindow is one window's inference outcome over the routes live
+// at the window's close.
+type PassiveWindow struct {
+	Start, End time.Time
+
+	// Announced / Withdrawn count prefix-level events inside the
+	// window; WithdrawnOnlyUpdates the UPDATEs carrying only
+	// withdrawals.
+	Announced, Withdrawn int
+	WithdrawnOnlyUpdates int
+
+	// LiveRoutes is the (feeder, prefix) table size at window close.
+	LiveRoutes int
+	// Dropped tallies hygiene-filtered live routes.
+	Dropped DropStats
+	// Result is the multilateral-peering inference over the window's
+	// live view.
+	Result *Result
+}
+
+// Links returns the window's inferred ML link set.
+func (w *PassiveWindow) Links() map[topology.LinkKey][]string { return w.Result.Links }
+
+// PassiveWindowsResult is the windowed passive run: one inference per
+// time window plus the stability of the inferred mesh across windows.
+type PassiveWindowsResult struct {
+	Windows []PassiveWindow
+	// Stability[i] is the Jaccard similarity between window i's and
+	// window i-1's inferred link sets (Stability[0] == 1).
+	Stability []float64
+}
+
+// liveKey identifies one route slot in a collector's view.
+type liveKey struct {
+	peer   bgp.ASN
+	prefix bgp.Prefix
+}
+
+// liveRoute is the route occupying a slot.
+type liveRoute struct {
+	path  paths.ID
+	comms bgp.Communities
+}
+
+// RunPassiveWindows is the dynamic counterpart of RunPassive: it replays
+// an announce+withdraw update trace over the base RIB dumps, maintaining
+// each collector peer's live route table, and re-runs the §4.2 inference
+// at every window close over the routes alive at that instant. A
+// withdrawal ends its route's lifetime, so transient flaps never leak
+// into the inferred mesh — the hygiene property §5 approximates with its
+// update-only filter in snapshot mode. Updates must be ordered as read
+// from the archive; equal timestamps keep file order.
+func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Dictionary, opts WindowOptions) (*PassiveWindowsResult, error) {
+	if opts.Window <= 0 {
+		return nil, fmt.Errorf("core: non-positive window %v", opts.Window)
+	}
+	if opts.Count <= 0 {
+		return nil, fmt.Errorf("core: non-positive window count %d", opts.Count)
+	}
+
+	store := paths.NewStore()
+	live := make(map[liveKey]liveRoute)
+
+	// Base state: the stable RIB dumps.
+	for _, d := range dumps {
+		if d == nil || d.Index == nil {
+			continue
+		}
+		for _, rib := range d.RIBs {
+			for _, e := range rib.Entries {
+				if e.Attrs == nil {
+					continue
+				}
+				peer := d.Index.Peers[e.PeerIndex].ASN
+				live[liveKey{peer, rib.Prefix}] = liveRoute{
+					path:  store.InternASPath(e.Attrs.ASPath),
+					comms: e.Attrs.Communities.Clone(),
+				}
+			}
+		}
+	}
+
+	res := &PassiveWindowsResult{}
+	cur := PassiveWindow{Start: opts.Start, End: opts.Start.Add(opts.Window)}
+
+	closeWindow := func() {
+		cur.LiveRoutes = len(live)
+		mineLiveTable(store, live, dict, &cur)
+		res.Windows = append(res.Windows, cur)
+		cur = PassiveWindow{Start: cur.End, End: cur.End.Add(opts.Window)}
+	}
+
+	apply := func(u *mrt.BGP4MPMessage, count bool) {
+		upd, ok := u.Message.(*bgp.Update)
+		if !ok {
+			return
+		}
+		for _, p := range upd.Withdrawn {
+			delete(live, liveKey{u.PeerASN, p})
+		}
+		if count {
+			cur.Withdrawn += len(upd.Withdrawn)
+		}
+		if upd.Attrs == nil || len(upd.NLRI) == 0 {
+			if count && len(upd.Withdrawn) > 0 {
+				cur.WithdrawnOnlyUpdates++
+			}
+			return
+		}
+		id := store.InternASPath(upd.Attrs.ASPath)
+		cs := upd.Attrs.Communities.Clone()
+		for _, p := range upd.NLRI {
+			live[liveKey{u.PeerASN, p}] = liveRoute{path: id, comms: cs}
+		}
+		if count {
+			cur.Announced += len(upd.NLRI)
+		}
+	}
+
+	for _, u := range updates {
+		// Pre-window updates adjust the base table without counting.
+		if u.Timestamp.Before(opts.Start) {
+			apply(u, false)
+			continue
+		}
+		for len(res.Windows) < opts.Count && !u.Timestamp.Before(cur.End) {
+			closeWindow()
+		}
+		if len(res.Windows) >= opts.Count {
+			break
+		}
+		apply(u, true)
+	}
+	for len(res.Windows) < opts.Count {
+		closeWindow()
+	}
+
+	res.Stability = make([]float64, len(res.Windows))
+	for i := range res.Windows {
+		if i == 0 {
+			res.Stability[0] = 1
+			continue
+		}
+		res.Stability[i] = jaccardLinks(res.Windows[i-1].Result.Links, res.Windows[i].Result.Links)
+	}
+	return res, nil
+}
+
+// mineLiveTable runs hygiene + community mining + link inference over
+// the live routes, deterministically (the table is sorted before
+// mining).
+func mineLiveTable(store *paths.Store, live map[liveKey]liveRoute, dict *Dictionary, w *PassiveWindow) {
+	keys := make([]liveKey, 0, len(live))
+	for k := range live {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].peer != keys[j].peer {
+			return keys[i].peer < keys[j].peer
+		}
+		return bgp.ComparePrefixes(keys[i].prefix, keys[j].prefix) < 0
+	})
+
+	// Hygiene per distinct path, lazily: the store grows monotonically
+	// across windows, so flags are computed at most once per path per
+	// window pass.
+	n := store.Len()
+	badBogon := make([]bool, n)
+	badCycle := make([]bool, n)
+	checked := make([]bool, n)
+	hygiene := func(id paths.ID) (bogon, cycle bool) {
+		if !checked[id] {
+			p := store.Path(id)
+			badBogon[id] = hasBogon(p)
+			badCycle[id] = hasCycle(p)
+			checked[id] = true
+		}
+		return badBogon[id], badCycle[id]
+	}
+
+	seenPath := make([]bool, n)
+	var kept []paths.ID
+	type minedRow struct {
+		key liveKey
+		id  paths.ID
+	}
+	var rows []minedRow
+	for _, k := range keys {
+		r := live[k]
+		bogon, cycle := hygiene(r.path)
+		switch {
+		case bogon:
+			w.Dropped.Bogon++
+			continue
+		case cycle:
+			w.Dropped.Cycle++
+			continue
+		}
+		if len(store.Path(r.path)) == 0 {
+			continue
+		}
+		if !seenPath[r.path] {
+			seenPath[r.path] = true
+			kept = append(kept, r.path)
+		}
+		rows = append(rows, minedRow{key: k, id: r.path})
+	}
+
+	rels := relation.Infer(paths.NewView(store, kept))
+
+	obs := NewObservations()
+	for _, row := range rows {
+		cs := live[row.key].comms
+		if len(cs) == 0 {
+			continue
+		}
+		entry, ok := dict.IdentifyIXP(cs)
+		if !ok {
+			continue
+		}
+		setter, ok := PinpointSetter(store.Path(row.id), entry, rels)
+		if !ok {
+			continue
+		}
+		obs.Add(entry.Name, setter, row.key.prefix, entry.Scheme.RelevantCommunities(cs), ObsPassive)
+	}
+	w.Result = InferLinks(dict, obs)
+}
+
+// jaccardLinks computes |a∩b| / |a∪b| over link sets (1 when both are
+// empty).
+func jaccardLinks(a, b map[topology.LinkKey][]string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

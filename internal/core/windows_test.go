@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/mrt"
+)
+
+func upd(ts time.Time, peer bgp.ASN, path []bgp.ASN, cs bgp.Communities, nlri, withdrawn []bgp.Prefix) *mrt.BGP4MPMessage {
+	u := &bgp.Update{Withdrawn: withdrawn, NLRI: nlri}
+	if len(nlri) > 0 {
+		u.Attrs = &bgp.PathAttrs{
+			Origin:      bgp.OriginIGP,
+			ASPath:      bgp.NewASPath(path...),
+			Communities: cs,
+		}
+	}
+	return &mrt.BGP4MPMessage{Timestamp: ts, PeerASN: peer, Message: u, AS4: true}
+}
+
+// TestRunPassiveCountsWithdrawals table-tests the fixed withdrawal
+// handling: withdrawn-only updates and mixed NLRI+withdrawn updates are
+// tallied instead of being silently ignored.
+func TestRunPassiveCountsWithdrawals(t *testing.T) {
+	d := testDict(t)
+	t0 := time.Date(2013, 5, 1, 0, 0, 0, 0, time.UTC)
+	p1 := bgp.MustPrefix("10.1.0.0/24")
+	p2 := bgp.MustPrefix("10.2.0.0/24")
+	p3 := bgp.MustPrefix("10.3.0.0/24")
+
+	cases := []struct {
+		name              string
+		updates           []*mrt.BGP4MPMessage
+		wantWithdrawals   int
+		wantWithdrawnOnly int
+	}{
+		{
+			name: "announce-only",
+			updates: []*mrt.BGP4MPMessage{
+				upd(t0, 100, []bgp.ASN{100, 200}, nil, []bgp.Prefix{p1}, nil),
+			},
+		},
+		{
+			name: "withdrawn-only",
+			updates: []*mrt.BGP4MPMessage{
+				upd(t0, 100, nil, nil, nil, []bgp.Prefix{p1, p2}),
+			},
+			wantWithdrawals:   2,
+			wantWithdrawnOnly: 1,
+		},
+		{
+			name: "mixed nlri and withdrawn",
+			updates: []*mrt.BGP4MPMessage{
+				upd(t0, 100, []bgp.ASN{100, 200}, nil, []bgp.Prefix{p1}, []bgp.Prefix{p2, p3}),
+			},
+			wantWithdrawals: 2,
+		},
+		{
+			name: "flap sequence",
+			updates: []*mrt.BGP4MPMessage{
+				upd(t0, 100, nil, nil, nil, []bgp.Prefix{p1}),
+				upd(t0.Add(time.Second), 100, []bgp.ASN{100, 200}, nil, []bgp.Prefix{p1}, nil),
+				upd(t0.Add(2*time.Second), 100, nil, nil, nil, []bgp.Prefix{p1}),
+			},
+			wantWithdrawals:   2,
+			wantWithdrawnOnly: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := RunPassive(nil, tc.updates, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Withdrawals != tc.wantWithdrawals {
+				t.Fatalf("Withdrawals = %d, want %d", res.Withdrawals, tc.wantWithdrawals)
+			}
+			if res.WithdrawnOnlyUpdates != tc.wantWithdrawnOnly {
+				t.Fatalf("WithdrawnOnlyUpdates = %d, want %d", res.WithdrawnOnlyUpdates, tc.wantWithdrawnOnly)
+			}
+		})
+	}
+}
+
+// TestRunPassiveWindows drives the windowed runner over a synthetic
+// announce/withdraw trace: a withdrawal must end the route's lifetime,
+// removing its setter's coverage (and the inferred link) from later
+// windows, and a re-announcement must restore it.
+func TestRunPassiveWindows(t *testing.T) {
+	d := testDict(t)
+	t0 := time.Date(2013, 5, 1, 2, 0, 0, 0, time.UTC)
+	w := 10 * time.Minute
+	p1 := bgp.MustPrefix("10.1.0.0/24")
+	p2 := bgp.MustPrefix("10.2.0.0/24")
+	pBogon := bgp.MustPrefix("10.9.0.0/24")
+	all := comms(t, "6695:6695")
+
+	updates := []*mrt.BGP4MPMessage{
+		// Base state, before the first window opens: two DE-CIX setters
+		// (200 and 300) with open policies seen at collector peer 100,
+		// plus a bogon-path route that hygiene must drop.
+		upd(t0.Add(-2*time.Minute), 100, []bgp.ASN{100, 200}, all, []bgp.Prefix{p1}, nil),
+		upd(t0.Add(-time.Minute), 100, []bgp.ASN{100, 300}, all, []bgp.Prefix{p2}, nil),
+		upd(t0.Add(-time.Minute), 100, []bgp.ASN{100, bgp.ASTrans, 300}, nil, []bgp.Prefix{pBogon}, nil),
+		// Window 1: the route through setter 300 is withdrawn.
+		upd(t0.Add(w+time.Minute), 100, nil, nil, nil, []bgp.Prefix{p2}),
+		// Window 2: it comes back.
+		upd(t0.Add(2*w+time.Minute), 100, []bgp.ASN{100, 300}, all, []bgp.Prefix{p2}, nil),
+	}
+
+	res, err := RunPassiveWindows(nil, updates, d, WindowOptions{Start: t0, Window: w, Count: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 3 {
+		t.Fatalf("windows = %d, want 3", len(res.Windows))
+	}
+
+	w0, w1, w2 := &res.Windows[0], &res.Windows[1], &res.Windows[2]
+	if w0.LiveRoutes != 3 {
+		t.Fatalf("window 0 live = %d, want 3", w0.LiveRoutes)
+	}
+	if w0.Dropped.Bogon == 0 {
+		t.Fatal("window 0: bogon route not dropped")
+	}
+	if got := w0.Result.TotalLinks(); got != 1 {
+		t.Fatalf("window 0 links = %d, want 1 (200--300)", got)
+	}
+
+	if w1.Withdrawn != 1 || w1.WithdrawnOnlyUpdates != 1 {
+		t.Fatalf("window 1 withdrawals = %d/%d, want 1/1", w1.Withdrawn, w1.WithdrawnOnlyUpdates)
+	}
+	if w1.LiveRoutes != 2 {
+		t.Fatalf("window 1 live = %d, want 2", w1.LiveRoutes)
+	}
+	if got := w1.Result.TotalLinks(); got != 0 {
+		t.Fatalf("window 1 links = %d, want 0 after withdrawal", got)
+	}
+
+	if w2.Announced != 1 {
+		t.Fatalf("window 2 announced = %d, want 1", w2.Announced)
+	}
+	if got := w2.Result.TotalLinks(); got != 1 {
+		t.Fatalf("window 2 links = %d, want 1 after re-announcement", got)
+	}
+
+	// Stability: full agreement in window 0 by convention, total churn
+	// afterwards (1 link ↔ 0 links).
+	if res.Stability[0] != 1 || res.Stability[1] != 0 || res.Stability[2] != 0 {
+		t.Fatalf("stability = %v, want [1 0 0]", res.Stability)
+	}
+}
+
+// TestRunPassiveWindowsValidation rejects degenerate options.
+func TestRunPassiveWindowsValidation(t *testing.T) {
+	d := testDict(t)
+	if _, err := RunPassiveWindows(nil, nil, d, WindowOptions{Window: 0, Count: 1}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := RunPassiveWindows(nil, nil, d, WindowOptions{Window: time.Minute, Count: 0}); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"mlpeering/internal/churn"
+	"mlpeering/internal/collector"
+	"mlpeering/internal/core"
+	"mlpeering/internal/metrics"
+	"mlpeering/internal/mrt"
+	"mlpeering/internal/pipeline"
+	"mlpeering/internal/topology"
+)
+
+// ChurnWindowRow is one inference window of the route-churn experiment.
+type ChurnWindowRow struct {
+	Window        int
+	Ops           int // mutation events applied in the window's epoch
+	DirtyDests    int // destinations the incremental engine re-examined
+	Announced     int // prefix announcements in the window
+	Withdrawn     int // prefix withdrawals in the window
+	WithdrawnOnly int // withdrawn-only UPDATEs in the window
+	LiveRoutes    int // (feeder, prefix) live-table size at window close
+	Links         int // inferred ML links at window close
+	Stability     float64
+	Precision     float64 // inferred ∩ truth / inferred (truth after the epoch)
+	Recall        float64 // inferred ∩ truth / truth (reciprocal mesh)
+}
+
+// ChurnResult is the windowed-inference-under-churn experiment: how
+// stable and how correct the inferred multilateral mesh stays while the
+// world mutates underneath the measurement.
+type ChurnResult struct {
+	Scenario string
+	Epochs   int
+	Interval time.Duration
+	Rows     []ChurnWindowRow
+}
+
+// RunChurn builds a world, evolves it through the configured churn
+// epochs (incremental engine apply + announce/withdraw diff stream),
+// and re-runs passive inference per epoch window. The dictionary is
+// built once from the pre-churn world, like the real method's snapshot
+// of IXP websites: membership churn after the snapshot is exactly what
+// erodes coverage.
+func RunChurn(cfg topology.Config, ccfg churn.Config) (*ChurnResult, error) {
+	w, err := pipeline.BuildWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+
+	dict, err := w.Dictionary()
+	if err != nil {
+		return nil, err
+	}
+
+	col := collector.New("rrc-churn", w.Engine, nil, 4)
+	runner := churn.NewRunner(w.Engine, ccfg)
+	ccfg = runner.Config()
+
+	start := pipeline.Timestamp.Add(2 * time.Hour)
+	var buf bytes.Buffer
+	trace, err := runner.Run(&buf, col, start)
+	if err != nil {
+		return nil, err
+	}
+	updates, err := mrt.ReadUpdates(&buf)
+	if err != nil {
+		return nil, err
+	}
+
+	windows, err := core.RunPassiveWindows(w.Dumps, updates, dict, core.WindowOptions{
+		Start:  start,
+		Window: ccfg.Interval,
+		Count:  ccfg.Epochs,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ChurnResult{Scenario: w.Scenario(), Epochs: ccfg.Epochs, Interval: ccfg.Interval}
+	for k := range windows.Windows {
+		pw := &windows.Windows[k]
+		row := ChurnWindowRow{
+			Window:        k,
+			Announced:     pw.Announced,
+			Withdrawn:     pw.Withdrawn,
+			WithdrawnOnly: pw.WithdrawnOnlyUpdates,
+			LiveRoutes:    pw.LiveRoutes,
+			Links:         pw.Result.TotalLinks(),
+			Stability:     windows.Stability[k],
+		}
+		if k < len(trace.Epochs) {
+			row.Ops = trace.Epochs[k].Ops
+			row.DirtyDests = trace.Epochs[k].DirtyDests
+		}
+		if k < len(trace.Truth) {
+			truth := trace.Truth[k]
+			tp := 0
+			for link := range pw.Result.Links {
+				if truth[link] {
+					tp++
+				}
+			}
+			if n := pw.Result.TotalLinks(); n > 0 {
+				row.Precision = float64(tp) / float64(n)
+			}
+			if len(truth) > 0 {
+				row.Recall = float64(tp) / float64(len(truth))
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the experiment as a table.
+func (r *ChurnResult) Render() *metrics.Table {
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Route churn: windowed ML-mesh inference (%s, %d epochs @ %v)",
+			r.Scenario, r.Epochs, r.Interval),
+		Columns: []string{"window", "ops", "dirty", "ann", "wdr", "wdr-only", "live", "links", "stability", "precision", "recall"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Window, row.Ops, row.DirtyDests, row.Announced, row.Withdrawn,
+			row.WithdrawnOnly, row.LiveRoutes, row.Links,
+			fmt.Sprintf("%.3f", row.Stability),
+			fmt.Sprintf("%.3f", row.Precision),
+			fmt.Sprintf("%.3f", row.Recall))
+	}
+	return t
+}

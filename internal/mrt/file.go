@@ -247,6 +247,7 @@ func ReadUpdates(r io.Reader) ([]*BGP4MPMessage, error) {
 			if err != nil {
 				return nil, err
 			}
+			m.Timestamp = rec.Timestamp
 			out = append(out, m)
 		}
 	}

@@ -67,8 +67,12 @@ type RIBRecord struct {
 }
 
 // BGP4MPMessage is a BGP4MP_MESSAGE(_AS4) record carrying one BGP
-// message heard from a collector peer.
+// message heard from a collector peer. Timestamp is the MRT record
+// header's collection time: it is not part of the message body on the
+// wire, but the windowed passive pipeline needs it to bucket updates,
+// so ReadUpdates carries it through.
 type BGP4MPMessage struct {
+	Timestamp time.Time
 	PeerASN   bgp.ASN
 	LocalASN  bgp.ASN
 	Interface uint16

@@ -163,6 +163,15 @@ type Engine struct {
 
 	scratchPool sync.Pool
 	treePool    sync.Pool
+
+	// Grow-only slabs for cached-tree planes: cached trees are never
+	// pooled, so carving their hop/exporter-offset storage from shared
+	// blocks is safe and removes two allocations per tree. Fully
+	// consumed blocks are referenced only by the trees carved from
+	// them, so dropping the trees still releases the memory.
+	slabMu     sync.Mutex
+	hopSlab    []hop
+	expOffSlab []int32
 }
 
 // cacheShard is one stripe of the tree cache: an LRU keyed by
@@ -221,88 +230,15 @@ func NewEngine(topo *topology.Topology, cacheCap int) *Engine {
 
 	// Flat CSR adjacency, each row sorted ascending once here so the
 	// propagation phases never sort again.
-	buildCSR := func(pick func(*topology.AS) ([]bgp.ASN, []bgp.ASN)) csr {
-		c := csr{off: make([]int32, n+1)}
-		var buf []int32
-		for i, asn := range topo.Order {
-			a, b := pick(topo.ASes[asn])
-			buf = buf[:0]
-			for _, x := range a {
-				if j, ok := e.idx[x]; ok {
-					buf = append(buf, j)
-				}
-			}
-			for _, x := range b {
-				if j, ok := e.idx[x]; ok {
-					buf = append(buf, j)
-				}
-			}
-			slices.Sort(buf)
-			c.adj = append(c.adj, buf...)
-			c.off[i+1] = int32(len(c.adj))
-		}
-		return c
-	}
-	e.up = buildCSR(func(as *topology.AS) ([]bgp.ASN, []bgp.ASN) { return as.Providers, as.Siblings })
-	e.down = buildCSR(func(as *topology.AS) ([]bgp.ASN, []bgp.ASN) { return as.Customers, as.Siblings })
-	e.peers = buildCSR(func(as *topology.AS) ([]bgp.ASN, []bgp.ASN) { return as.Peers, nil })
+	e.up = e.buildCSR(func(as *topology.AS) ([]bgp.ASN, []bgp.ASN) { return as.Providers, as.Siblings })
+	e.down = e.buildCSR(func(as *topology.AS) ([]bgp.ASN, []bgp.ASN) { return as.Customers, as.Siblings })
+	e.peers = e.buildCSR(func(as *topology.AS) ([]bgp.ASN, []bgp.ASN) { return as.Peers, nil })
 
 	for _, info := range topo.IXPs {
-		st := &ixpState{info: info, slotOf: make([]int32, n)}
-		for i := range st.slotOf {
-			st.slotOf[i] = -1
-		}
-		for _, m := range info.SortedRSMembers() {
-			mi, ok := e.idx[m]
-			if !ok {
-				continue
-			}
-			st.slotOf[mi] = int32(len(st.members))
-			st.members = append(st.members, mi)
-		}
-		nm := len(st.members)
-		st.hasExport = make([]bool, nm)
-		st.hasImport = make([]bool, nm)
-		st.exports = make([]ixp.ExportFilter, nm)
-		st.imports = make([]ixp.ExportFilter, nm)
-		st.comms = make([]bgp.Communities, nm)
-		for s, mi := range st.members {
-			m := e.asns[mi]
-			if f, ok := topo.ExportFilter(info.Name, m); ok {
-				st.exports[s] = f
-				st.hasExport[s] = true
-			}
-			if f, ok := topo.ImportFilter(info.Name, m); ok {
-				st.imports[s] = f
-				st.hasImport[s] = true
-			}
-			if cs, ok := topo.MemberCommunities(info.Name, m); ok {
-				st.comms[s] = cs
-			}
-		}
-		// Precompute the allowed-pair bitsets.
-		st.words = (nm + 63) / 64
-		st.allowed = make([]uint64, nm*st.words)
-		for es := 0; es < nm; es++ {
-			if !st.hasExport[es] {
-				continue
-			}
-			ef := st.exports[es]
-			eASN := e.asns[st.members[es]]
-			row := st.allowed[es*st.words : (es+1)*st.words]
-			for vs := 0; vs < nm; vs++ {
-				if vs == es || !st.hasImport[vs] {
-					continue
-				}
-				vASN := e.asns[st.members[vs]]
-				if ef.Allows(vASN) && st.imports[vs].Allows(eASN) {
-					row[vs>>6] |= 1 << (uint(vs) & 63)
-				}
-			}
-		}
+		st := e.buildIXPState(info)
 		e.ixpsByName[info.Name] = int16(len(e.ixps))
 		e.ixps = append(e.ixps, st)
-		e.totalMembers += nm
+		e.totalMembers += len(st.members)
 	}
 
 	// Shard the cache only when it is big enough for striping to matter;
@@ -323,19 +259,140 @@ func NewEngine(topo *topology.Topology, cacheCap int) *Engine {
 	e.scratchPool.New = func() any {
 		return &scratch{inNext: make([]bool, n), scores: make([]uint64, n)}
 	}
-	e.treePool.New = func() any { return e.newTree() }
+	// Pool trees are transient (recycled per ForEachTree window), so
+	// they use plain allocation; the grow-only slabs are reserved for
+	// cached trees, which live until invalidated.
+	e.treePool.New = func() any { return e.newTreePlain() }
 	return e
 }
 
-// newTree allocates a tree for this topology. The exporter list starts
-// empty: most destinations have few exporters, and pooled trees keep
-// whatever capacity they grow.
-func (e *Engine) newTree() *Tree {
+// buildCSR assembles one flat adjacency over the engine's topology,
+// each row sorted ascending so the propagation phases never sort.
+func (e *Engine) buildCSR(pick func(*topology.AS) ([]bgp.ASN, []bgp.ASN)) csr {
+	topo := e.topo
+	n := len(topo.Order)
+	c := csr{off: make([]int32, n+1)}
+	var buf []int32
+	for i, asn := range topo.Order {
+		a, b := pick(topo.ASes[asn])
+		buf = buf[:0]
+		for _, x := range a {
+			if j, ok := e.idx[x]; ok {
+				buf = append(buf, j)
+			}
+		}
+		for _, x := range b {
+			if j, ok := e.idx[x]; ok {
+				buf = append(buf, j)
+			}
+		}
+		slices.Sort(buf)
+		c.adj = append(c.adj, buf...)
+		c.off[i+1] = int32(len(c.adj))
+	}
+	return c
+}
+
+// buildIXPState assembles one IXP's dense route-server state (member
+// slots, filters, communities, allowed-pair bitsets) from the current
+// ground truth. Called at construction and again by Apply for IXPs a
+// delta mutated.
+func (e *Engine) buildIXPState(info *ixp.Info) *ixpState {
+	topo := e.topo
+	n := len(e.asns)
+	st := &ixpState{info: info, slotOf: make([]int32, n)}
+	for i := range st.slotOf {
+		st.slotOf[i] = -1
+	}
+	for _, m := range info.SortedRSMembers() {
+		mi, ok := e.idx[m]
+		if !ok {
+			continue
+		}
+		st.slotOf[mi] = int32(len(st.members))
+		st.members = append(st.members, mi)
+	}
+	nm := len(st.members)
+	st.hasExport = make([]bool, nm)
+	st.hasImport = make([]bool, nm)
+	st.exports = make([]ixp.ExportFilter, nm)
+	st.imports = make([]ixp.ExportFilter, nm)
+	st.comms = make([]bgp.Communities, nm)
+	for s, mi := range st.members {
+		m := e.asns[mi]
+		if f, ok := topo.ExportFilter(info.Name, m); ok {
+			st.exports[s] = f
+			st.hasExport[s] = true
+		}
+		if f, ok := topo.ImportFilter(info.Name, m); ok {
+			st.imports[s] = f
+			st.hasImport[s] = true
+		}
+		if cs, ok := topo.MemberCommunities(info.Name, m); ok {
+			st.comms[s] = cs
+		}
+	}
+	// Precompute the allowed-pair bitsets.
+	st.words = (nm + 63) / 64
+	st.allowed = make([]uint64, nm*st.words)
+	for es := 0; es < nm; es++ {
+		if !st.hasExport[es] {
+			continue
+		}
+		ef := st.exports[es]
+		eASN := e.asns[st.members[es]]
+		row := st.allowed[es*st.words : (es+1)*st.words]
+		for vs := 0; vs < nm; vs++ {
+			if vs == es || !st.hasImport[vs] {
+				continue
+			}
+			vASN := e.asns[st.members[vs]]
+			if ef.Allows(vASN) && st.imports[vs].Allows(eASN) {
+				row[vs>>6] |= 1 << (uint(vs) & 63)
+			}
+		}
+	}
+	return st
+}
+
+// newTreePlain allocates a tree with its own backing arrays, for the
+// recycled ForEachTree pool.
+func (e *Engine) newTreePlain() *Tree {
 	return &Tree{
 		e:      e,
 		hops:   make([]hop, len(e.asns)),
 		expOff: make([]int32, len(e.ixps)+1),
 	}
+}
+
+// newTree allocates a tree for this topology, carving the hop and
+// exporter-offset planes from the engine's grow-only slabs: cached
+// trees live until evicted and are never pooled, so slab storage is
+// safe, and one block allocation serves many trees.
+func (e *Engine) newTree() *Tree {
+	n := len(e.asns)
+	nx := len(e.ixps) + 1
+	e.slabMu.Lock()
+	if len(e.hopSlab) < n {
+		block := 16 * n
+		if block < 1<<14 {
+			block = 1 << 14
+		}
+		e.hopSlab = make([]hop, block)
+	}
+	hops := e.hopSlab[:n:n]
+	e.hopSlab = e.hopSlab[n:]
+	if len(e.expOffSlab) < nx {
+		block := 64 * nx
+		if block < 1<<12 {
+			block = 1 << 12
+		}
+		e.expOffSlab = make([]int32, block)
+	}
+	expOff := e.expOffSlab[:nx:nx]
+	e.expOffSlab = e.expOffSlab[nx:]
+	e.slabMu.Unlock()
+	return &Tree{e: e, hops: hops, expOff: expOff}
 }
 
 // Topology returns the engine's world.
