@@ -560,6 +560,47 @@ func BenchmarkChurnEpoch(b *testing.B) {
 	}
 }
 
+func BenchmarkWindowedInference(b *testing.B) {
+	// Windowed inference under churn over scaled-world@Scale-10 (33
+	// IXPs, ~16k ASes) with minute-scale windows: the delta-maintained
+	// incremental observation store versus the re-mine-per-window
+	// fallback, replaying the identical pre-built announce/withdraw
+	// trace (both modes produce byte-identical meshes; the equivalence
+	// tests pin that). The shared trace build is setup cost, outside
+	// the timer.
+	cfg := topology.DefaultConfig()
+	cfg.Scenario = "scaled-world"
+	cfg.Scale = 10
+	ccfg := churn.DefaultConfig(20130501)
+	ccfg.Epochs = 6
+	ccfg.Interval = time.Minute
+	ct, err := experiments.BuildChurnTrace(cfg, ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		mode core.WindowsMode
+	}{
+		{"incremental", core.WindowsIncremental},
+		{"remine", core.WindowsRemine},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := ct.Windows(bc.mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Windows) != ccfg.Epochs {
+					b.Fatalf("ran %d windows, want %d", len(res.Windows), ccfg.Epochs)
+				}
+			}
+			b.ReportMetric(float64(ccfg.Epochs), "windows/op")
+		})
+	}
+}
+
 func BenchmarkFullPipeline(b *testing.B) {
 	// End-to-end: world generation through link inference. Expensive;
 	// run explicitly with -bench=FullPipeline -benchtime=1x for wall

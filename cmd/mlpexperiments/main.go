@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mlpeering/internal/churn"
+	"mlpeering/internal/core"
 	"mlpeering/internal/experiments"
 	"mlpeering/internal/topology"
 )
@@ -30,6 +31,7 @@ func main() {
 	churnMode := flag.Bool("churn", false, "run the route-churn dynamics workload (windowed inference) instead of the paper tables")
 	churnEpochs := flag.Int("churn-epochs", 6, "churn mode: number of mutation epochs / inference windows")
 	churnInterval := flag.Duration("churn-interval", 10*time.Minute, "churn mode: epoch and inference-window duration")
+	windowsMode := flag.String("windows-mode", "incremental", "churn mode: per-window mesh derivation (incremental = delta-maintained observation store, remine = re-mine the live table each window)")
 	flag.Parse()
 
 	cfg := topology.DefaultConfig()
@@ -39,16 +41,20 @@ func main() {
 	cfg.Workers = *workers
 
 	if *churnMode {
+		mode, err := core.ParseWindowsMode(*windowsMode)
+		if err != nil {
+			log.Fatal(err)
+		}
 		ccfg := churn.DefaultConfig(*seed + 11)
 		ccfg.Epochs = *churnEpochs
 		ccfg.Interval = *churnInterval
 		start := time.Now()
-		res, err := experiments.RunChurn(cfg, ccfg)
+		res, err := experiments.RunChurn(cfg, ccfg, mode)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("churn run ready in %v (scale %v, scenario %s, %d epochs)",
-			time.Since(start).Round(time.Millisecond), *scale, *scenario, ccfg.Epochs)
+		log.Printf("churn run ready in %v (scale %v, scenario %s, %d epochs, %s windows)",
+			time.Since(start).Round(time.Millisecond), *scale, *scenario, ccfg.Epochs, mode)
 		res.Render().Render(os.Stdout)
 		return
 	}

@@ -71,7 +71,7 @@ func (a *AttrArena) commSlice(n int) Communities {
 		}
 		a.comms = make([]Community, 0, c)
 	}
-	s := a.comms[len(a.comms):len(a.comms) : len(a.comms)+n]
+	s := a.comms[len(a.comms) : len(a.comms) : len(a.comms)+n]
 	a.comms = a.comms[:len(a.comms)+n]
 	return Communities(s)
 }

@@ -196,6 +196,85 @@ func TestPeerFlapsSpanEpochs(t *testing.T) {
 	}
 }
 
+// TestChurnDirtySetsTightened drives the real churn schedule and checks
+// the bitset-tightened dirty rule epoch by epoch: every dirty
+// destination stays inside the old conservative bound (cones of the
+// delta's endpoints plus, for RS ops, every co-member's cone), and at
+// least one epoch with RS churn comes in strictly below it.
+func TestChurnDirtySetsTightened(t *testing.T) {
+	topo, eng := buildWorld(t, topology.TestConfig())
+	cfg := DefaultConfig(29)
+	cfg.Epochs = 6
+	r := NewRunner(eng, cfg)
+
+	var coneInto func(a bgp.ASN, into map[bgp.ASN]bool)
+	coneInto = func(a bgp.ASN, into map[bgp.ASN]bool) {
+		if into[a] {
+			return
+		}
+		into[a] = true
+		if as := topo.ASes[a]; as != nil {
+			for _, c := range as.Customers {
+				coneInto(c, into)
+			}
+			for _, s := range as.Siblings {
+				coneInto(s, into)
+			}
+		}
+	}
+
+	shrank := false
+	for k := 0; k < cfg.Epochs; k++ {
+		d := r.NextDelta()
+		// Conservative bound, computed against the pre-apply world (RS
+		// membership as the old rule read it).
+		bound := make(map[bgp.ASN]bool)
+		rsChurn := false
+		for _, op := range d.Peers {
+			coneInto(op.A, bound)
+			coneInto(op.B, bound)
+		}
+		for _, op := range d.Members {
+			rsChurn = true
+			coneInto(op.Member, bound)
+			if info := topo.IXPByName(op.IXP); info != nil {
+				for _, m := range info.SortedRSMembers() {
+					coneInto(m, bound)
+				}
+			}
+		}
+		for _, op := range d.Filters {
+			rsChurn = true
+			coneInto(op.Member, bound)
+			if info := topo.IXPByName(op.IXP); info != nil {
+				for _, m := range info.SortedRSMembers() {
+					coneInto(m, bound)
+				}
+			}
+		}
+		for _, op := range d.Prefixes {
+			bound[op.From] = true
+			bound[op.To] = true
+		}
+
+		dirty, err := eng.Apply(d)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", k, err)
+		}
+		for _, dst := range dirty {
+			if !bound[dst] {
+				t.Fatalf("epoch %d: dirty destination %s outside the conservative bound", k, dst)
+			}
+		}
+		if rsChurn && len(dirty) < len(bound) {
+			shrank = true
+		}
+	}
+	if !shrank {
+		t.Fatal("no RS-churn epoch shrank the conservative bound; tightening is inert")
+	}
+}
+
 // TestChurnEquivalenceTestScale drives the real churn schedule and pins
 // the incrementally patched engine to a fresh rebuild after every epoch,
 // over every destination.

@@ -126,6 +126,15 @@ func (s *UpdateStream) WriteEpoch(w io.Writer, ts time.Time, window time.Duratio
 
 		tr := s.col.engine.Tree(dest)
 		arena.Reset()
+		// The diff pass already reconstructs every feeder's new route:
+		// collect the fingerprints as it goes and refresh the snapshot
+		// from them directly, instead of re-walking the tree a second
+		// time through capture.
+		var newFps []string
+		any := false
+		if tr != nil && len(newPs) > 0 {
+			newFps = make([]string, len(s.col.feeders))
+		}
 		for i, f := range s.col.feeders {
 			var oldFp string
 			if oldFps != nil {
@@ -133,10 +142,12 @@ func (s *UpdateStream) WriteEpoch(w io.Writer, ts time.Time, window time.Duratio
 			}
 			var newFp string
 			var route *propagate.VantageRoute
-			if len(newPs) > 0 && tr != nil {
+			if newFps != nil {
 				route = tr.RouteFromArena(f.ASN, &arena)
 				if route != nil && exports(f, route.Class) {
 					newFp = routeFingerprint(route, s.col.strips[i])
+					newFps[i] = newFp
+					any = true
 				} else {
 					route = nil
 				}
@@ -178,10 +189,10 @@ func (s *UpdateStream) WriteEpoch(w io.Writer, ts time.Time, window time.Duratio
 				}
 			}
 		}
-		// Refresh the snapshot for this destination.
-		if tr != nil {
-			arena.Reset()
-			s.capture(tr, &arena)
+		// Refresh the snapshot from the fingerprints just computed.
+		if any {
+			s.prefixes[dest] = append([]bgp.Prefix(nil), newPs...)
+			s.routes[dest] = newFps
 		} else {
 			delete(s.prefixes, dest)
 			delete(s.routes, dest)

@@ -89,11 +89,26 @@ func (r *Result) LinkCount(ixpName string) int {
 	return len(x.Links)
 }
 
+// ObservationSource is the read side of an observation store: what
+// InferLinks needs to reconstruct filters and infer the mesh. It is
+// implemented by the snapshot Observations and by the delta-maintained
+// DeltaObservations of the incremental windowed pipeline.
+type ObservationSource interface {
+	// Setters returns the covered RS members of an IXP in ascending
+	// order.
+	Setters(ixpName string) []bgp.ASN
+	// Filter reconstructs the setter's export filter by majority vote
+	// over its per-prefix community sets.
+	Filter(ixpName string, setter bgp.ASN, scheme ixp.Scheme) (ixp.ExportFilter, bool)
+	// Source returns how a setter was covered (0 if not covered).
+	Source(ixpName string, setter bgp.ASN) DataSource
+}
+
 // InferLinks executes steps 4-5 of §4.1 over the merged observations:
 // reconstruct each covered member's export filter, build its allow set
 // N_a, and infer a p2p link between a and a' iff each allows the other
 // (the reciprocity rule).
-func InferLinks(dict *Dictionary, obs *Observations) *Result {
+func InferLinks(dict *Dictionary, obs ObservationSource) *Result {
 	res := &Result{
 		PerIXP: make(map[string]*IXPInference),
 		Links:  make(map[topology.LinkKey][]string),
@@ -138,6 +153,36 @@ func InferLinks(dict *Dictionary, obs *Observations) *Result {
 		sort.Strings(res.Links[k])
 	}
 	return res
+}
+
+// AppendMesh appends a canonical byte encoding of the inferred mesh to
+// dst: every link in ascending (A, B) order with its sorted IXP
+// attribution list. Two results over the same dictionary describe the
+// same mesh iff their encodings are byte-equal; the windowed
+// equivalence tests pin the incremental pipeline to the re-mine
+// fallback with it.
+func (r *Result) AppendMesh(dst []byte) []byte {
+	keys := make([]topology.LinkKey, 0, len(r.Links))
+	for k := range r.Links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	for _, k := range keys {
+		dst = append(dst,
+			byte(k.A>>24), byte(k.A>>16), byte(k.A>>8), byte(k.A),
+			byte(k.B>>24), byte(k.B>>16), byte(k.B>>8), byte(k.B))
+		for _, name := range r.Links[k] {
+			dst = append(dst, name...)
+			dst = append(dst, 0)
+		}
+		dst = append(dst, 0xFF)
+	}
+	return dst
 }
 
 // SumPerIXPLinks adds up the per-IXP link counts (larger than

@@ -1,0 +1,427 @@
+// Delta-maintained windowed mining: the incremental counterpart of
+// mineLiveTable. Announce/withdraw events apply as +/- deltas to
+// reference-counted (setter, member, prefix-group) observation counts,
+// so a window's ML mesh is derived from the maintained store instead of
+// re-mining every live route. Routes are grouped by their (path,
+// community-set) shape; each group's hygiene flags, IXP attribution and
+// — when the §4.2 pinpointing is relationship-independent — its setter
+// are derived once, and only the relationship-dependent groups (three
+// or more IXP participants on the path) are re-pinpointed at window
+// close against the incrementally maintained relation oracle.
+package core
+
+import (
+	"slices"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/ixp"
+	"mlpeering/internal/paths"
+	"mlpeering/internal/relation"
+	"mlpeering/internal/topology"
+)
+
+// obsSet is one counted community set observed for a (setter, prefix).
+type obsSet struct {
+	key string // canonical (sorted, dedup'd) encoding
+	cs  bgp.Communities
+	n   int
+}
+
+// prefixDelta holds the counted community sets of one (setter, prefix).
+// Disagreement across feeders is rare (§4.3), so the set list is almost
+// always length one; entries whose count returns to zero are pruned so
+// the store tracks the live table, not the all-time history.
+type prefixDelta struct {
+	total int
+	sets  []obsSet
+}
+
+// winner returns the canonical representative among the live sets: the
+// lexicographically smallest key with a positive count. Deterministic
+// and independent of insertion order, so a maintained store and one
+// rebuilt from scratch agree byte-for-byte.
+func (p *prefixDelta) winner() (string, bgp.Communities, bool) {
+	bestKey, bestIdx := "", -1
+	for i := range p.sets {
+		if p.sets[i].n > 0 && (bestIdx < 0 || p.sets[i].key < bestKey) {
+			bestKey, bestIdx = p.sets[i].key, i
+		}
+	}
+	if bestIdx < 0 {
+		return "", nil, false
+	}
+	return bestKey, p.sets[bestIdx].cs, true
+}
+
+// setterDelta aggregates one covered setter's per-prefix observations.
+type setterDelta struct {
+	prefixes map[bgp.Prefix]*prefixDelta
+	active   int // prefixes with a positive total
+}
+
+// ixpDelta is one IXP's setter table.
+type ixpDelta struct {
+	setters map[bgp.ASN]*setterDelta
+}
+
+// DeltaObservations is a reference-counted observation store: the
+// C_{a,p} of §4.1 step 3 maintained under announce (+1) and withdraw
+// (-1) deltas. It implements ObservationSource, so InferLinks derives
+// the per-window mesh from it directly.
+type DeltaObservations struct {
+	byIXP map[string]*ixpDelta
+}
+
+// NewDeltaObservations returns an empty store.
+func NewDeltaObservations() *DeltaObservations {
+	return &DeltaObservations{byIXP: make(map[string]*ixpDelta)}
+}
+
+// add applies one counted observation delta.
+func (o *DeltaObservations) add(ixpName string, setter bgp.ASN, prefix bgp.Prefix, key string, cs bgp.Communities, delta int) {
+	x := o.byIXP[ixpName]
+	if x == nil {
+		x = &ixpDelta{setters: make(map[bgp.ASN]*setterDelta)}
+		o.byIXP[ixpName] = x
+	}
+	s := x.setters[setter]
+	if s == nil {
+		s = &setterDelta{prefixes: make(map[bgp.Prefix]*prefixDelta)}
+		x.setters[setter] = s
+	}
+	p := s.prefixes[prefix]
+	if p == nil {
+		p = &prefixDelta{}
+		s.prefixes[prefix] = p
+	}
+	found := false
+	for i := range p.sets {
+		if p.sets[i].key == key {
+			if p.sets[i].n += delta; p.sets[i].n == 0 {
+				p.sets = append(p.sets[:i], p.sets[i+1:]...)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		p.sets = append(p.sets, obsSet{key: key, cs: cs, n: delta})
+	}
+	wasLive := p.total > 0
+	p.total += delta
+	if live := p.total > 0; live != wasLive {
+		if live {
+			s.active++
+		} else {
+			s.active--
+		}
+	}
+	// Prune dead state so Setters/Filter iterate the live view only:
+	// per-window cost must track the live table, not the trace's
+	// all-time observation history.
+	if p.total == 0 && len(p.sets) == 0 {
+		delete(s.prefixes, prefix)
+	}
+	if s.active == 0 && len(s.prefixes) == 0 {
+		delete(x.setters, setter)
+	}
+}
+
+// Setters returns the covered RS members of an IXP in ascending order.
+func (o *DeltaObservations) Setters(ixpName string) []bgp.ASN {
+	x := o.byIXP[ixpName]
+	if x == nil {
+		return nil
+	}
+	out := make([]bgp.ASN, 0, len(x.setters))
+	for setter, s := range x.setters {
+		if s.active > 0 {
+			out = append(out, setter)
+		}
+	}
+	sortASNs(out)
+	return out
+}
+
+// Filter reconstructs the setter's export filter by majority vote over
+// its per-prefix community sets, exactly like Observations.Filter: each
+// live prefix votes its canonical community set, the most voted (ties
+// to the smallest key) wins.
+func (o *DeltaObservations) Filter(ixpName string, setter bgp.ASN, scheme ixp.Scheme) (ixp.ExportFilter, bool) {
+	x := o.byIXP[ixpName]
+	if x == nil {
+		return ixp.ExportFilter{}, false
+	}
+	s := x.setters[setter]
+	if s == nil || s.active == 0 {
+		return ixp.ExportFilter{}, false
+	}
+	votes := make(map[string]int)
+	repr := make(map[string]bgp.Communities)
+	for _, p := range s.prefixes {
+		key, cs, ok := p.winner()
+		if !ok {
+			continue
+		}
+		votes[key]++
+		repr[key] = cs
+	}
+	bestKey, bestVotes := "", -1
+	for k, v := range votes {
+		if v > bestVotes || (v == bestVotes && k < bestKey) {
+			bestKey, bestVotes = k, v
+		}
+	}
+	return ixp.FilterFromCommunities(repr[bestKey], scheme), true
+}
+
+// Source reports passive coverage: the windowed pipeline only ever
+// mines collector data.
+func (o *DeltaObservations) Source(ixpName string, setter bgp.ASN) DataSource {
+	if x := o.byIXP[ixpName]; x != nil {
+		if s := x.setters[setter]; s != nil && s.active > 0 {
+			return ObsPassive
+		}
+	}
+	return 0
+}
+
+// groupKey identifies one distinct route shape.
+type groupKey struct {
+	path  paths.ID
+	comms string
+}
+
+// windowGroup is the derived state of one distinct (path, communities)
+// route shape. Everything but the relationship-dependent setter is
+// fixed at creation; refs and byPrefix track the live routes currently
+// carrying the shape.
+type windowGroup struct {
+	path  paths.ID
+	comms bgp.Communities
+
+	bogon, cycle, empty bool
+	entry               *IXPEntry // nil: no unique IXP attribution
+	relKey              string    // canonical key of the scheme-relevant subset
+	relComms            bgp.Communities
+	relsDep             bool // pinpointing consults the relation oracle
+	registered          bool // currently listed in windowMiner.relsDeps
+	resolved            bool
+	setter              bgp.ASN
+
+	refs     int
+	byPrefix map[bgp.Prefix]int
+}
+
+// mineable reports whether the shape can contribute observations at
+// all: it survived hygiene and resolved to a unique IXP.
+func (g *windowGroup) mineable() bool {
+	return !g.bogon && !g.cycle && !g.empty && g.entry != nil
+}
+
+// keptPath reports whether the shape's path belongs to the public view
+// relationship inference runs over.
+func (g *windowGroup) keptPath() bool { return !g.bogon && !g.cycle && !g.empty }
+
+// windowMiner maintains the incremental mining state across a windowed
+// run: the route groups, the refcounted observation store, the live
+// distinct-path counts feeding the relation oracle, and the hygiene
+// drop tallies over the current live table.
+type windowMiner struct {
+	dict  *Dictionary
+	store *paths.Store
+
+	groups   map[groupKey]*windowGroup
+	relsDeps []*windowGroup // groups whose setter depends on the oracle
+
+	obs      *DeltaObservations
+	rel      *relation.Incremental // nil in remine mode
+	pathLive map[paths.ID]int
+
+	dropBogon, dropCycle int
+}
+
+// newWindowMiner returns an empty miner. rel may be nil, in which case
+// the caller owns relation maintenance and setter resolution (the
+// remine fallback).
+func newWindowMiner(dict *Dictionary, store *paths.Store, rel *relation.Incremental) *windowMiner {
+	return &windowMiner{
+		dict:     dict,
+		store:    store,
+		groups:   make(map[groupKey]*windowGroup),
+		obs:      NewDeltaObservations(),
+		rel:      rel,
+		pathLive: make(map[paths.ID]int),
+	}
+}
+
+// commsKey canonically encodes a community set as announced (order
+// preserved: it keys the route shape, not the semantic set).
+func commsKey(cs bgp.Communities) string {
+	if len(cs) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, 4*len(cs))
+	for _, c := range cs {
+		b = append(b, byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+	}
+	return string(b)
+}
+
+// group returns (creating on first sight) the derived group of a route
+// shape. New mineable groups resolve their setter immediately when the
+// pinpointing is relationship-independent, or against the current
+// oracle otherwise (stale answers are corrected at window close).
+func (m *windowMiner) group(path paths.ID, comms bgp.Communities, ckey string) *windowGroup {
+	k := groupKey{path: path, comms: ckey}
+	if g, ok := m.groups[k]; ok {
+		return g
+	}
+	g := &windowGroup{path: path, comms: comms, byPrefix: make(map[bgp.Prefix]int)}
+	p := m.store.Path(path)
+	g.empty = len(p) == 0
+	g.bogon = hasBogon(p)
+	g.cycle = hasCycle(p)
+	if len(comms) > 0 {
+		if entry, ok := m.dict.IdentifyIXP(comms); ok {
+			g.entry = entry
+			g.relComms = entry.Scheme.RelevantCommunities(comms)
+			g.relKey = g.relComms.Dedup().String()
+			if g.mineable() {
+				positions := 0
+				for _, a := range p {
+					if entry.IsMember(a) {
+						positions++
+					}
+				}
+				g.relsDep = positions > 2
+			}
+		}
+	}
+	if g.mineable() {
+		if g.relsDep {
+			g.registered = true
+			m.relsDeps = append(m.relsDeps, g)
+			if m.rel != nil {
+				g.setter, g.resolved = PinpointSetter(p, g.entry, m.rel)
+			}
+		} else {
+			g.setter, g.resolved = PinpointSetter(p, g.entry, nil)
+		}
+	}
+	m.groups[k] = g
+	return g
+}
+
+// apply registers one live-route delta (+1 announce, -1 withdraw) for
+// the route shape at the given prefix.
+func (m *windowMiner) apply(g *windowGroup, prefix bgp.Prefix, delta int) {
+	wasDead := g.refs == 0
+	g.refs += delta
+	// A rels-dependent shape coming back to life after closeWindow
+	// compacted it away re-enters the re-pinpoint list (its recorded
+	// setter may be stale relative to the current oracle; the next
+	// window close corrects it, exactly like a freshly created shape).
+	if wasDead && g.refs > 0 && g.relsDep && !g.registered {
+		g.registered = true
+		m.relsDeps = append(m.relsDeps, g)
+	}
+	if n := g.byPrefix[prefix] + delta; n == 0 {
+		delete(g.byPrefix, prefix)
+	} else {
+		g.byPrefix[prefix] = n
+	}
+	switch {
+	case g.bogon:
+		m.dropBogon += delta
+	case g.cycle:
+		m.dropCycle += delta
+	}
+	if g.keptPath() {
+		before := m.pathLive[g.path]
+		now := before + delta
+		if now == 0 {
+			delete(m.pathLive, g.path)
+		} else {
+			m.pathLive[g.path] = now
+		}
+		if m.rel != nil {
+			if before == 0 && now > 0 {
+				m.rel.AddPath(g.path)
+			} else if before > 0 && now == 0 {
+				m.rel.RemovePath(g.path)
+			}
+		}
+	}
+	if g.mineable() && g.resolved {
+		m.obs.add(g.entry.Name, g.setter, prefix, g.relKey, g.relComms, delta)
+	}
+}
+
+// moveContributions shifts all of g's live observation counts from its
+// recorded (resolved, setter) state to the freshly pinpointed one.
+func (m *windowMiner) moveContributions(g *windowGroup, resolved bool, setter bgp.ASN) {
+	if g.resolved == resolved && (!resolved || g.setter == setter) {
+		return
+	}
+	if g.resolved {
+		for p, n := range g.byPrefix {
+			m.obs.add(g.entry.Name, g.setter, p, g.relKey, g.relComms, -n)
+		}
+	}
+	g.resolved, g.setter = resolved, setter
+	if g.resolved {
+		for p, n := range g.byPrefix {
+			m.obs.add(g.entry.Name, g.setter, p, g.relKey, g.relComms, n)
+		}
+	}
+}
+
+// closeWindow derives one window's inference outcome from the
+// maintained state: commit the relation oracle, re-pinpoint the
+// relationship-dependent groups against it, and run the reciprocity
+// mesh inference over the refcounted store.
+func (m *windowMiner) closeWindow(w *PassiveWindow) {
+	m.rel.Commit()
+	// Re-pinpoint the live rels-dependent shapes, compacting dead ones
+	// out of the list so per-window cost tracks the live shape set, not
+	// the trace's all-time one (withdrawn shapes re-register in apply
+	// if they come back).
+	live := m.relsDeps[:0]
+	for _, g := range m.relsDeps {
+		if g.refs == 0 {
+			g.registered = false
+			continue
+		}
+		live = append(live, g)
+		setter, ok := PinpointSetter(m.store.Path(g.path), g.entry, m.rel)
+		m.moveContributions(g, ok, setter)
+	}
+	for i := len(live); i < len(m.relsDeps); i++ {
+		m.relsDeps[i] = nil
+	}
+	m.relsDeps = live
+	w.Dropped.Bogon = m.dropBogon
+	w.Dropped.Cycle = m.dropCycle
+	w.RelLinks = m.rel.LinkCount()
+	w.P2PRels = countP2P(m.rel)
+	w.Result = InferLinks(m.dict, m.obs)
+}
+
+// countP2P tallies p2p-labelled links through the allocation-free
+// iterator.
+func countP2P(rels relation.Oracle) int {
+	n := 0
+	rels.ForEachLink(func(_ topology.LinkKey, r relation.Rel) bool {
+		if r == relation.RelP2P {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// sortASNs sorts ascending in place.
+func sortASNs(s []bgp.ASN) {
+	slices.Sort(s)
+}

@@ -178,7 +178,7 @@ func RunPassive(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Dictionar
 //  2. exactly two: the one closest to the origin;
 //  3. more than two: the participant pair with a p2p relationship is the
 //     route-server crossing; the setter is its origin-side AS.
-func PinpointSetter(path []bgp.ASN, entry *IXPEntry, rels *relation.Inference) (bgp.ASN, bool) {
+func PinpointSetter(path []bgp.ASN, entry *IXPEntry, rels relation.Oracle) (bgp.ASN, bool) {
 	var positions []int
 	for i, a := range path {
 		if entry.IsMember(a) {

@@ -12,6 +12,50 @@ import (
 	"mlpeering/internal/topology"
 )
 
+// WindowsMode selects how each window's ML mesh is derived.
+type WindowsMode int
+
+// Windowed inference modes.
+const (
+	// WindowsIncremental derives every window from the delta-maintained
+	// observation store: announce/withdraw events apply as +/- deltas to
+	// refcounted observation counts and to the incremental relation
+	// oracle, so a window close touches only what changed.
+	WindowsIncremental WindowsMode = iota
+	// WindowsRemine re-mines the entire live table at every window
+	// close — the pre-incremental cost profile (sort, hygiene, batch
+	// relation inference and community mining over every live route) —
+	// kept as the equivalence fallback: both modes produce
+	// byte-identical per-window meshes. Note both modes share the
+	// canonical order-independent observation reduction (see
+	// prefixDelta.winner); where feeders disagree on a (setter, prefix)
+	// community set, the smallest canonical set wins, where the PR 4
+	// miner kept the last set in sorted row order.
+	WindowsRemine
+)
+
+// String implements fmt.Stringer.
+func (m WindowsMode) String() string {
+	switch m {
+	case WindowsRemine:
+		return "remine"
+	default:
+		return "incremental"
+	}
+}
+
+// ParseWindowsMode parses a -windows-mode flag value.
+func ParseWindowsMode(s string) (WindowsMode, error) {
+	switch s {
+	case "incremental":
+		return WindowsIncremental, nil
+	case "remine":
+		return WindowsRemine, nil
+	default:
+		return 0, fmt.Errorf("core: unknown windows mode %q (want incremental or remine)", s)
+	}
+}
+
 // WindowOptions parameterizes RunPassiveWindows.
 type WindowOptions struct {
 	// Start is the first window's opening time; updates before it are
@@ -22,6 +66,8 @@ type WindowOptions struct {
 	// Count is the number of windows to emit. Windows past the last
 	// update still run (over the then-static live table).
 	Count int
+	// Mode selects incremental (default) or re-mine derivation.
+	Mode WindowsMode
 }
 
 // PassiveWindow is one window's inference outcome over the routes live
@@ -39,6 +85,10 @@ type PassiveWindow struct {
 	LiveRoutes int
 	// Dropped tallies hygiene-filtered live routes.
 	Dropped DropStats
+	// RelLinks and P2PRels describe the window's AS-relationship
+	// inference: total inferred links and the p2p-labelled subset, both
+	// read through the allocation-free oracle iterators.
+	RelLinks, P2PRels int
 	// Result is the multilateral-peering inference over the window's
 	// live view.
 	Result *Result
@@ -62,10 +112,13 @@ type liveKey struct {
 	prefix bgp.Prefix
 }
 
-// liveRoute is the route occupying a slot.
+// liveRoute is the route occupying a slot. ckey is the canonical
+// encoding of comms, computed once per UPDATE so grouped mining never
+// re-encodes on withdrawal.
 type liveRoute struct {
 	path  paths.ID
 	comms bgp.Communities
+	ckey  string
 }
 
 // RunPassiveWindows is the dynamic counterpart of RunPassive: it replays
@@ -76,6 +129,12 @@ type liveRoute struct {
 // into the inferred mesh — the hygiene property §5 approximates with its
 // update-only filter in snapshot mode. Updates must be ordered as read
 // from the archive; equal timestamps keep file order.
+//
+// In the default incremental mode every event applies as a +/- delta to
+// the refcounted observation store and the incremental relation oracle,
+// so a window close costs O(changes), not O(live table); remine mode
+// rebuilds everything per window and is pinned byte-identical by the
+// equivalence tests.
 func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Dictionary, opts WindowOptions) (*PassiveWindowsResult, error) {
 	if opts.Window <= 0 {
 		return nil, fmt.Errorf("core: non-positive window %v", opts.Window)
@@ -86,6 +145,30 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 
 	store := paths.NewStore()
 	live := make(map[liveKey]liveRoute)
+	var miner *windowMiner
+	if opts.Mode == WindowsIncremental {
+		miner = newWindowMiner(dict, store, relation.NewIncremental(store))
+	}
+
+	set := func(k liveKey, r liveRoute) {
+		if miner != nil {
+			if old, ok := live[k]; ok {
+				miner.apply(miner.group(old.path, old.comms, old.ckey), k.prefix, -1)
+			}
+			miner.apply(miner.group(r.path, r.comms, r.ckey), k.prefix, 1)
+		}
+		live[k] = r
+	}
+	del := func(k liveKey) {
+		old, ok := live[k]
+		if !ok {
+			return
+		}
+		if miner != nil {
+			miner.apply(miner.group(old.path, old.comms, old.ckey), k.prefix, -1)
+		}
+		delete(live, k)
+	}
 
 	// Base state: the stable RIB dumps.
 	for _, d := range dumps {
@@ -98,10 +181,12 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 					continue
 				}
 				peer := d.Index.Peers[e.PeerIndex].ASN
-				live[liveKey{peer, rib.Prefix}] = liveRoute{
+				cs := e.Attrs.Communities.Clone()
+				set(liveKey{peer, rib.Prefix}, liveRoute{
 					path:  store.InternASPath(e.Attrs.ASPath),
-					comms: e.Attrs.Communities.Clone(),
-				}
+					comms: cs,
+					ckey:  commsKey(cs),
+				})
 			}
 		}
 	}
@@ -111,7 +196,11 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 
 	closeWindow := func() {
 		cur.LiveRoutes = len(live)
-		mineLiveTable(store, live, dict, &cur)
+		if miner != nil {
+			miner.closeWindow(&cur)
+		} else {
+			remineLiveTable(store, live, dict, &cur)
+		}
 		res.Windows = append(res.Windows, cur)
 		cur = PassiveWindow{Start: cur.End, End: cur.End.Add(opts.Window)}
 	}
@@ -122,7 +211,7 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 			return
 		}
 		for _, p := range upd.Withdrawn {
-			delete(live, liveKey{u.PeerASN, p})
+			del(liveKey{u.PeerASN, p})
 		}
 		if count {
 			cur.Withdrawn += len(upd.Withdrawn)
@@ -135,8 +224,9 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 		}
 		id := store.InternASPath(upd.Attrs.ASPath)
 		cs := upd.Attrs.Communities.Clone()
+		ck := commsKey(cs)
 		for _, p := range upd.NLRI {
-			live[liveKey{u.PeerASN, p}] = liveRoute{path: id, comms: cs}
+			set(liveKey{u.PeerASN, p}, liveRoute{path: id, comms: cs, ckey: ck})
 		}
 		if count {
 			cur.Announced += len(upd.NLRI)
@@ -172,10 +262,12 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 	return res, nil
 }
 
-// mineLiveTable runs hygiene + community mining + link inference over
-// the live routes, deterministically (the table is sorted before
-// mining).
-func mineLiveTable(store *paths.Store, live map[liveKey]liveRoute, dict *Dictionary, w *PassiveWindow) {
+// remineLiveTable runs hygiene + community mining + link inference over
+// the full live table, deterministically (the table is sorted before
+// mining): the re-mine fallback the incremental path is pinned against.
+// It reuses the same grouped derivation and refcounted store, built
+// from scratch, so both modes reduce observations identically.
+func remineLiveTable(store *paths.Store, live map[liveKey]liveRoute, dict *Dictionary, w *PassiveWindow) {
 	keys := make([]liveKey, 0, len(live))
 	for k := range live {
 		keys = append(keys, k)
@@ -187,70 +279,28 @@ func mineLiveTable(store *paths.Store, live map[liveKey]liveRoute, dict *Diction
 		return bgp.ComparePrefixes(keys[i].prefix, keys[j].prefix) < 0
 	})
 
-	// Hygiene per distinct path, lazily: the store grows monotonically
-	// across windows, so flags are computed at most once per path per
-	// window pass.
-	n := store.Len()
-	badBogon := make([]bool, n)
-	badCycle := make([]bool, n)
-	checked := make([]bool, n)
-	hygiene := func(id paths.ID) (bogon, cycle bool) {
-		if !checked[id] {
-			p := store.Path(id)
-			badBogon[id] = hasBogon(p)
-			badCycle[id] = hasCycle(p)
-			checked[id] = true
-		}
-		return badBogon[id], badCycle[id]
-	}
-
-	seenPath := make([]bool, n)
+	m := newWindowMiner(dict, store, nil)
 	var kept []paths.ID
-	type minedRow struct {
-		key liveKey
-		id  paths.ID
-	}
-	var rows []minedRow
 	for _, k := range keys {
 		r := live[k]
-		bogon, cycle := hygiene(r.path)
-		switch {
-		case bogon:
-			w.Dropped.Bogon++
-			continue
-		case cycle:
-			w.Dropped.Cycle++
-			continue
+		g := m.group(r.path, r.comms, r.ckey)
+		if g.keptPath() && m.pathLive[g.path] == 0 {
+			kept = append(kept, g.path)
 		}
-		if len(store.Path(r.path)) == 0 {
-			continue
-		}
-		if !seenPath[r.path] {
-			seenPath[r.path] = true
-			kept = append(kept, r.path)
-		}
-		rows = append(rows, minedRow{key: k, id: r.path})
+		m.apply(g, k.prefix, 1)
 	}
 
 	rels := relation.Infer(paths.NewView(store, kept))
-
-	obs := NewObservations()
-	for _, row := range rows {
-		cs := live[row.key].comms
-		if len(cs) == 0 {
-			continue
-		}
-		entry, ok := dict.IdentifyIXP(cs)
-		if !ok {
-			continue
-		}
-		setter, ok := PinpointSetter(store.Path(row.id), entry, rels)
-		if !ok {
-			continue
-		}
-		obs.Add(entry.Name, setter, row.key.prefix, entry.Scheme.RelevantCommunities(cs), ObsPassive)
+	for _, g := range m.relsDeps {
+		setter, ok := PinpointSetter(store.Path(g.path), g.entry, rels)
+		m.moveContributions(g, ok, setter)
 	}
-	w.Result = InferLinks(dict, obs)
+
+	w.Dropped.Bogon = m.dropBogon
+	w.Dropped.Cycle = m.dropCycle
+	w.RelLinks = rels.LinkCount()
+	w.P2PRels = countP2P(rels)
+	w.Result = InferLinks(dict, m.obs)
 }
 
 // jaccardLinks computes |a∩b| / |a∪b| over link sets (1 when both are

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 	"time"
 
 	"mlpeering/internal/bgp"
 	"mlpeering/internal/mrt"
+	"mlpeering/internal/paths"
+	"mlpeering/internal/relation"
 )
 
 func upd(ts time.Time, peer bgp.ASN, path []bgp.ASN, cs bgp.Communities, nlri, withdrawn []bgp.Prefix) *mrt.BGP4MPMessage {
@@ -150,6 +154,197 @@ func TestRunPassiveWindows(t *testing.T) {
 	// afterwards (1 link ↔ 0 links).
 	if res.Stability[0] != 1 || res.Stability[1] != 0 || res.Stability[2] != 0 {
 		t.Fatalf("stability = %v, want [1 0 0]", res.Stability)
+	}
+}
+
+// flapTrace builds a trace exercising base-RIB state, mid-window
+// flaps, setter withdrawal/restore, multi-participant paths (the
+// rels-dependent §4.2 case 3) and bogon hygiene, across count windows.
+func flapTrace(t *testing.T, t0 time.Time, w time.Duration) []*mrt.BGP4MPMessage {
+	t.Helper()
+	p1 := bgp.MustPrefix("10.1.0.0/24")
+	p2 := bgp.MustPrefix("10.2.0.0/24")
+	p3 := bgp.MustPrefix("10.3.0.0/24")
+	p4 := bgp.MustPrefix("10.4.0.0/24")
+	pBogon := bgp.MustPrefix("10.9.0.0/24")
+	all := comms(t, "6695:6695")
+
+	return []*mrt.BGP4MPMessage{
+		// Base state before the first window: three DE-CIX setters and a
+		// bogon-path route that hygiene must drop.
+		upd(t0.Add(-3*time.Minute), 100, []bgp.ASN{100, 200}, all, []bgp.Prefix{p1}, nil),
+		upd(t0.Add(-2*time.Minute), 100, []bgp.ASN{100, 300}, all, []bgp.Prefix{p2}, nil),
+		// Case-3 path: three DE-CIX members (100, 200, 8359); the setter
+		// depends on the window's relationship inference.
+		upd(t0.Add(-time.Minute), 100, []bgp.ASN{100, 200, 8359}, all, []bgp.Prefix{p4}, nil),
+		upd(t0.Add(-time.Minute), 100, []bgp.ASN{100, bgp.ASTrans, 300}, nil, []bgp.Prefix{pBogon}, nil),
+
+		// Window 0: a withdraw-then-reannounce flap of p1 inside the
+		// window — the mesh at window close must not notice.
+		upd(t0.Add(time.Minute), 100, nil, nil, nil, []bgp.Prefix{p1}),
+		upd(t0.Add(2*time.Minute), 100, []bgp.ASN{100, 200}, all, []bgp.Prefix{p1}, nil),
+
+		// Window 1: setter 300 withdrawn; an unrelated route replaces a
+		// slot (path change for the same (peer, prefix)).
+		upd(t0.Add(w+time.Minute), 100, nil, nil, nil, []bgp.Prefix{p2}),
+		upd(t0.Add(w+2*time.Minute), 100, []bgp.ASN{100, 8359, 300}, nil, []bgp.Prefix{p3}, nil),
+
+		// Window 2: 300 re-announces (RS rejoin after a window away),
+		// and the case-3 path is fully withdrawn — its shape must be
+		// compacted out of the re-pinpoint list at this window's close.
+		upd(t0.Add(2*w+time.Minute), 100, []bgp.ASN{100, 300}, all, []bgp.Prefix{p2}, nil),
+		upd(t0.Add(2*w+2*time.Minute), 100, nil, nil, nil, []bgp.Prefix{p4}),
+
+		// Window 3: the case-3 shape returns after a dead window: it
+		// must re-register for re-pinpointing.
+		upd(t0.Add(3*w+time.Minute), 100, []bgp.ASN{100, 200, 8359}, all, []bgp.Prefix{p4}, nil),
+	}
+}
+
+// TestWindowedModesEquivalent pins the tentpole property at test scale:
+// the incremental windowed path produces byte-identical per-window ML
+// meshes — and identical counters — to the re-mine fallback.
+func TestWindowedModesEquivalent(t *testing.T) {
+	d := testDict(t)
+	t0 := time.Date(2013, 5, 1, 2, 0, 0, 0, time.UTC)
+	w := 10 * time.Minute
+	updates := flapTrace(t, t0, w)
+
+	run := func(mode WindowsMode) *PassiveWindowsResult {
+		res, err := RunPassiveWindows(nil, updates, d, WindowOptions{Start: t0, Window: w, Count: 4, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	inc, rem := run(WindowsIncremental), run(WindowsRemine)
+
+	if len(inc.Windows) != len(rem.Windows) {
+		t.Fatalf("window counts diverge: %d vs %d", len(inc.Windows), len(rem.Windows))
+	}
+	var a, b []byte
+	for i := range inc.Windows {
+		wi, wr := &inc.Windows[i], &rem.Windows[i]
+		a = wi.Result.AppendMesh(a[:0])
+		b = wr.Result.AppendMesh(b[:0])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("window %d: meshes diverge (incremental %d links, remine %d)",
+				i, wi.Result.TotalLinks(), wr.Result.TotalLinks())
+		}
+		if wi.LiveRoutes != wr.LiveRoutes || wi.Dropped != wr.Dropped ||
+			wi.RelLinks != wr.RelLinks || wi.P2PRels != wr.P2PRels ||
+			wi.Announced != wr.Announced || wi.Withdrawn != wr.Withdrawn {
+			t.Fatalf("window %d: counters diverge:\nincremental %+v\nremine      %+v", i, wi, wr)
+		}
+		if inc.Stability[i] != rem.Stability[i] {
+			t.Fatalf("window %d: stability diverges: %v vs %v", i, inc.Stability[i], rem.Stability[i])
+		}
+	}
+	// The trace must actually exercise the interesting machinery.
+	if inc.Windows[0].Dropped.Bogon == 0 {
+		t.Fatal("no bogon was dropped; trace too weak")
+	}
+	if inc.Windows[0].RelLinks == 0 {
+		t.Fatal("no relationship links inferred; trace too weak")
+	}
+}
+
+// TestWindowFlapRestoresObservationState drives a withdraw-then-
+// reannounce flap through the miner inside a single window: every
+// refcount — observation store, group refs, live-path counts, drop
+// tallies — must return exactly to the pre-flap state.
+func TestWindowFlapRestoresObservationState(t *testing.T) {
+	d := testDict(t)
+	store := paths.NewStore()
+	m := newWindowMiner(d, store, relation.NewIncremental(store))
+
+	all := comms(t, "6695:6695")
+	ck := commsKey(all)
+	p1 := bgp.MustPrefix("10.1.0.0/24")
+	p2 := bgp.MustPrefix("10.2.0.0/24")
+	id1 := store.Intern([]bgp.ASN{100, 200})
+	id2 := store.Intern([]bgp.ASN{100, 300})
+
+	m.apply(m.group(id1, all, ck), p1, 1)
+	m.apply(m.group(id2, all, ck), p2, 1)
+
+	snapshot := func() string {
+		return fmt.Sprintf("obs=%#v pathLive=%v drops=%d/%d refs=%d/%d",
+			m.obs.byIXP["DE-CIX"].setters[200].prefixes[p1],
+			m.pathLive, m.dropBogon, m.dropCycle,
+			m.group(id1, all, ck).refs, m.group(id2, all, ck).refs)
+	}
+	before := snapshot()
+	var w1 PassiveWindow
+	m.closeWindow(&w1)
+	if w1.Result.TotalLinks() != 1 {
+		t.Fatalf("pre-flap links = %d, want 1", w1.Result.TotalLinks())
+	}
+
+	// Flap: withdraw and re-announce the same routes within the window.
+	m.apply(m.group(id1, all, ck), p1, -1)
+	m.apply(m.group(id2, all, ck), p2, -1)
+	m.apply(m.group(id1, all, ck), p1, 1)
+	m.apply(m.group(id2, all, ck), p2, 1)
+
+	if got := snapshot(); got != before {
+		t.Fatalf("flap did not restore miner state:\nbefore %s\nafter  %s", before, got)
+	}
+	var w2 PassiveWindow
+	m.closeWindow(&w2)
+	var a, b []byte
+	if a, b = w1.Result.AppendMesh(nil), w2.Result.AppendMesh(nil); !bytes.Equal(a, b) {
+		t.Fatal("flap changed the inferred mesh")
+	}
+
+	// Full withdrawal empties the store's live view.
+	m.apply(m.group(id1, all, ck), p1, -1)
+	m.apply(m.group(id2, all, ck), p2, -1)
+	var w3 PassiveWindow
+	m.closeWindow(&w3)
+	if w3.Result.TotalLinks() != 0 || len(m.obs.Setters("DE-CIX")) != 0 {
+		t.Fatalf("withdrawn world still covered: %d links, setters %v",
+			w3.Result.TotalLinks(), m.obs.Setters("DE-CIX"))
+	}
+}
+
+// TestWindowedRSLeaveRejoin models an RS leave as the member's
+// announcements losing their RS communities for a window, then
+// regaining them: coverage (and the member's links) must vanish for
+// exactly that window in both modes.
+func TestWindowedRSLeaveRejoin(t *testing.T) {
+	d := testDict(t)
+	t0 := time.Date(2013, 5, 1, 2, 0, 0, 0, time.UTC)
+	w := 10 * time.Minute
+	p1 := bgp.MustPrefix("10.1.0.0/24")
+	p2 := bgp.MustPrefix("10.2.0.0/24")
+	all := comms(t, "6695:6695")
+
+	updates := []*mrt.BGP4MPMessage{
+		upd(t0.Add(-2*time.Minute), 100, []bgp.ASN{100, 200}, all, []bgp.Prefix{p1}, nil),
+		upd(t0.Add(-time.Minute), 100, []bgp.ASN{100, 300}, all, []bgp.Prefix{p2}, nil),
+		// Window 1: 300 leaves the RS — same route, no RS communities.
+		upd(t0.Add(w+time.Minute), 100, []bgp.ASN{100, 300}, nil, []bgp.Prefix{p2}, nil),
+		// Window 2: 300 rejoins with its old policy.
+		upd(t0.Add(2*w+time.Minute), 100, []bgp.ASN{100, 300}, all, []bgp.Prefix{p2}, nil),
+	}
+
+	for _, mode := range []WindowsMode{WindowsIncremental, WindowsRemine} {
+		res, err := RunPassiveWindows(nil, updates, d, WindowOptions{Start: t0, Window: w, Count: 3, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		links := []int{res.Windows[0].Result.TotalLinks(), res.Windows[1].Result.TotalLinks(), res.Windows[2].Result.TotalLinks()}
+		if links[0] != 1 || links[1] != 0 || links[2] != 1 {
+			t.Fatalf("%v: links per window = %v, want [1 0 1]", mode, links)
+		}
+		// The live table never shrank: the member kept announcing, only
+		// its RS coverage went away.
+		for i, pw := range res.Windows {
+			if pw.LiveRoutes != 2 {
+				t.Fatalf("%v: window %d live = %d, want 2", mode, i, pw.LiveRoutes)
+			}
+		}
 	}
 }
 

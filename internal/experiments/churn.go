@@ -23,6 +23,8 @@ type ChurnWindowRow struct {
 	Withdrawn     int // prefix withdrawals in the window
 	WithdrawnOnly int // withdrawn-only UPDATEs in the window
 	LiveRoutes    int // (feeder, prefix) live-table size at window close
+	RelLinks      int // AS-relationship links inferred in the window
+	P2PRels       int // p2p-labelled subset of RelLinks
 	Links         int // inferred ML links at window close
 	Stability     float64
 	Precision     float64 // inferred ∩ truth / inferred (truth after the epoch)
@@ -34,18 +36,35 @@ type ChurnWindowRow struct {
 // world mutates underneath the measurement.
 type ChurnResult struct {
 	Scenario string
+	Mode     core.WindowsMode
 	Epochs   int
 	Interval time.Duration
 	Rows     []ChurnWindowRow
 }
 
-// RunChurn builds a world, evolves it through the configured churn
-// epochs (incremental engine apply + announce/withdraw diff stream),
-// and re-runs passive inference per epoch window. The dictionary is
-// built once from the pre-churn world, like the real method's snapshot
-// of IXP websites: membership churn after the snapshot is exactly what
-// erodes coverage.
-func RunChurn(cfg topology.Config, ccfg churn.Config) (*ChurnResult, error) {
+// ChurnTrace is a pre-built churn workload: the world's base RIB
+// dumps, the announce/withdraw update trace of the full churn schedule,
+// the inference dictionary, and the per-epoch ground truth. It is the
+// reusable input of the windowed inference — mode comparisons and
+// benchmarks replay the same trace instead of regenerating the world.
+type ChurnTrace struct {
+	Scenario string
+	Start    time.Time
+	Interval time.Duration
+	Epochs   int
+	Dumps    []*mrt.Dump
+	Updates  []*mrt.BGP4MPMessage
+	Dict     *core.Dictionary
+	Trace    *churn.Trace
+}
+
+// BuildChurnTrace builds a world, evolves it through the configured
+// churn epochs (incremental engine apply + announce/withdraw diff
+// stream) and captures everything the windowed inference consumes. The
+// dictionary is built once from the pre-churn world, like the real
+// method's snapshot of IXP websites: membership churn after the
+// snapshot is exactly what erodes coverage.
+func BuildChurnTrace(cfg topology.Config, ccfg churn.Config) (*ChurnTrace, error) {
 	w, err := pipeline.BuildWorld(cfg)
 	if err != nil {
 		return nil, err
@@ -71,17 +90,51 @@ func RunChurn(cfg topology.Config, ccfg churn.Config) (*ChurnResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return &ChurnTrace{
+		Scenario: w.Scenario(),
+		Start:    start,
+		Interval: ccfg.Interval,
+		Epochs:   ccfg.Epochs,
+		Dumps:    w.Dumps,
+		Updates:  updates,
+		Dict:     dict,
+		Trace:    trace,
+	}, nil
+}
 
-	windows, err := core.RunPassiveWindows(w.Dumps, updates, dict, core.WindowOptions{
-		Start:  start,
-		Window: ccfg.Interval,
-		Count:  ccfg.Epochs,
+// Windows replays the trace through the windowed passive pipeline in
+// the given mode.
+func (ct *ChurnTrace) Windows(mode core.WindowsMode) (*core.PassiveWindowsResult, error) {
+	return core.RunPassiveWindows(ct.Dumps, ct.Updates, ct.Dict, core.WindowOptions{
+		Start:  ct.Start,
+		Window: ct.Interval,
+		Count:  ct.Epochs,
+		Mode:   mode,
 	})
+}
+
+// RunChurn builds a churn trace and re-runs passive inference per epoch
+// window in the given mode (core.WindowsIncremental maintains the
+// observation store under announce/withdraw deltas; core.WindowsRemine
+// re-mines per window).
+func RunChurn(cfg topology.Config, ccfg churn.Config, mode core.WindowsMode) (*ChurnResult, error) {
+	ct, err := BuildChurnTrace(cfg, ccfg)
 	if err != nil {
 		return nil, err
 	}
+	return ct.Run(mode)
+}
 
-	res := &ChurnResult{Scenario: w.Scenario(), Epochs: ccfg.Epochs, Interval: ccfg.Interval}
+// Run derives the churn experiment table from the trace in the given
+// mode.
+func (ct *ChurnTrace) Run(mode core.WindowsMode) (*ChurnResult, error) {
+	windows, err := ct.Windows(mode)
+	if err != nil {
+		return nil, err
+	}
+	trace := ct.Trace
+
+	res := &ChurnResult{Scenario: ct.Scenario, Mode: mode, Epochs: ct.Epochs, Interval: ct.Interval}
 	for k := range windows.Windows {
 		pw := &windows.Windows[k]
 		row := ChurnWindowRow{
@@ -90,6 +143,8 @@ func RunChurn(cfg topology.Config, ccfg churn.Config) (*ChurnResult, error) {
 			Withdrawn:     pw.Withdrawn,
 			WithdrawnOnly: pw.WithdrawnOnlyUpdates,
 			LiveRoutes:    pw.LiveRoutes,
+			RelLinks:      pw.RelLinks,
+			P2PRels:       pw.P2PRels,
 			Links:         pw.Result.TotalLinks(),
 			Stability:     windows.Stability[k],
 		}
@@ -120,13 +175,13 @@ func RunChurn(cfg topology.Config, ccfg churn.Config) (*ChurnResult, error) {
 // Render formats the experiment as a table.
 func (r *ChurnResult) Render() *metrics.Table {
 	t := &metrics.Table{
-		Title: fmt.Sprintf("Route churn: windowed ML-mesh inference (%s, %d epochs @ %v)",
-			r.Scenario, r.Epochs, r.Interval),
-		Columns: []string{"window", "ops", "dirty", "ann", "wdr", "wdr-only", "live", "links", "stability", "precision", "recall"},
+		Title: fmt.Sprintf("Route churn: windowed ML-mesh inference (%s, %s mode, %d epochs @ %v)",
+			r.Scenario, r.Mode, r.Epochs, r.Interval),
+		Columns: []string{"window", "ops", "dirty", "ann", "wdr", "wdr-only", "live", "rels", "p2p", "links", "stability", "precision", "recall"},
 	}
 	for _, row := range r.Rows {
 		t.AddRow(row.Window, row.Ops, row.DirtyDests, row.Announced, row.Withdrawn,
-			row.WithdrawnOnly, row.LiveRoutes, row.Links,
+			row.WithdrawnOnly, row.LiveRoutes, row.RelLinks, row.P2PRels, row.Links,
 			fmt.Sprintf("%.3f", row.Stability),
 			fmt.Sprintf("%.3f", row.Precision),
 			fmt.Sprintf("%.3f", row.Recall))

@@ -1,24 +1,31 @@
 package experiments
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 	"time"
 
 	"mlpeering/internal/churn"
+	"mlpeering/internal/core"
 	"mlpeering/internal/topology"
 )
 
-func churnResult(t *testing.T, seed int64) *ChurnResult {
+func churnResultMode(t *testing.T, seed int64, cfg topology.Config, mode core.WindowsMode) *ChurnResult {
 	t.Helper()
 	ccfg := churn.DefaultConfig(seed)
 	ccfg.Epochs = 3
 	ccfg.Interval = 10 * time.Minute
-	res, err := RunChurn(topology.TestConfig(), ccfg)
+	res, err := RunChurn(cfg, ccfg, mode)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return res
+}
+
+func churnResult(t *testing.T, seed int64) *ChurnResult {
+	t.Helper()
+	return churnResultMode(t, seed, topology.TestConfig(), core.WindowsIncremental)
 }
 
 // TestRunChurnShape checks the windowed-inference table is well-formed:
@@ -71,4 +78,71 @@ func TestRunChurnDeterministic(t *testing.T) {
 	if !reflect.DeepEqual(a.Rows, b.Rows) {
 		t.Fatalf("rows diverge:\n%+v\n---\n%+v", a.Rows, b.Rows)
 	}
+}
+
+// assertModesEquivalent replays one churn trace through both windowed
+// modes and requires byte-identical per-window meshes plus identical
+// experiment rows (mesh size, relationship metrics, stability,
+// precision, recall): the end-to-end form of the tentpole's
+// byte-identity contract.
+func assertModesEquivalent(t *testing.T, seed int64, cfg topology.Config) {
+	t.Helper()
+	ccfg := churn.DefaultConfig(seed)
+	ccfg.Epochs = 3
+	ccfg.Interval = 10 * time.Minute
+	ct, err := BuildChurnTrace(cfg, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	incW, err := ct.Windows(core.WindowsIncremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remW, err := ct.Windows(core.WindowsRemine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incW.Windows) != len(remW.Windows) {
+		t.Fatalf("window counts diverge: %d vs %d", len(incW.Windows), len(remW.Windows))
+	}
+	var a, b []byte
+	for i := range incW.Windows {
+		wi, wr := &incW.Windows[i], &remW.Windows[i]
+		a = wi.Result.AppendMesh(a[:0])
+		b = wr.Result.AppendMesh(b[:0])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("window %d: meshes diverge between modes (%d vs %d links)",
+				i, wi.Result.TotalLinks(), wr.Result.TotalLinks())
+		}
+		if wi.LiveRoutes != wr.LiveRoutes || wi.Dropped != wr.Dropped ||
+			wi.RelLinks != wr.RelLinks || wi.P2PRels != wr.P2PRels ||
+			wi.Announced != wr.Announced || wi.Withdrawn != wr.Withdrawn ||
+			wi.WithdrawnOnlyUpdates != wr.WithdrawnOnlyUpdates ||
+			incW.Stability[i] != remW.Stability[i] {
+			t.Fatalf("window %d: counters diverge between modes", i)
+		}
+	}
+}
+
+// TestRunChurnModesEquivalentTestScale pins incremental to re-mine over
+// the full churn pipeline at test scale.
+func TestRunChurnModesEquivalentTestScale(t *testing.T) {
+	assertModesEquivalent(t, 7, topology.TestConfig())
+}
+
+// TestRunChurnModesEquivalentScale10 repeats the equivalence at
+// scaled-world@Scale-10 (33 IXPs, ~16k ASes): the acceptance scale of
+// the incremental windowed pipeline.
+func TestRunChurnModesEquivalentScale10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled-world equivalence skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("scaled-world equivalence skipped under the race detector")
+	}
+	cfg := topology.DefaultConfig()
+	cfg.Scenario = "scaled-world"
+	cfg.Scale = 10
+	assertModesEquivalent(t, 11, cfg)
 }

@@ -296,13 +296,18 @@ func (c *Context) Figure13() *Figure13Result {
 	rels := c.Run.Passive.Rels
 	blockers := make(map[bgp.ASN]map[bgp.ASN]bool)
 	cone, direct := 0, 0
+	blockerCone := make(map[bgp.ASN]bool) // reused across blockers
 	for name, x := range c.Run.Result.PerIXP {
 		_ = name
 		for blocker, f := range x.Filters {
 			if f.Mode != ixp.ModeAllExcept {
 				continue
 			}
-			blockerCone := rels.CustomerCone(blocker)
+			clear(blockerCone)
+			rels.ForEachConeMember(blocker, func(a bgp.ASN) bool {
+				blockerCone[a] = true
+				return true
+			})
 			for _, blocked := range f.PeerList() {
 				res.TotalExcludes++
 				res.BlockCounts[blocked]++

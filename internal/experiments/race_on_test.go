@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is active: the scaled-world
+// equivalence tests skip themselves there (they re-run minutes of
+// single-goroutine mining under a ~10x detector slowdown for no extra
+// interleaving coverage; the race job's value is the concurrent
+// generation and propagation paths, covered at test scale).
+const raceEnabled = true

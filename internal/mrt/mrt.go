@@ -259,7 +259,7 @@ func (a *DumpArena) entrySlice(n int) []RIBEntry {
 		}
 		a.entries = make([]RIBEntry, 0, c)
 	}
-	s := a.entries[len(a.entries):len(a.entries) : len(a.entries)+n]
+	s := a.entries[len(a.entries) : len(a.entries) : len(a.entries)+n]
 	a.entries = a.entries[:len(a.entries)+n]
 	return s
 }

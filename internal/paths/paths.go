@@ -39,7 +39,7 @@ func (s *Store) Hops() int { return len(s.arena) }
 // Path returns the hops of path id as a slice into the shared arena.
 // Callers must not modify it.
 func (s *Store) Path(id ID) []bgp.ASN {
-	return s.arena[s.off[id]:s.off[id+1] : s.off[id+1]]
+	return s.arena[s.off[id]:s.off[id+1]:s.off[id+1]]
 }
 
 // key builds the lookup key for the arena tail [start:] in s.keyBuf.

@@ -13,6 +13,11 @@
 // operations touch transit (provider/customer) edges, so cones are
 // invariant under Apply and one BFS over the down CSR per mutated node
 // yields a conservative, provably sufficient dirty destination set.
+// Route-server ops tighten the seed set further with the precomputed
+// allowed-pair bitsets: instead of every co-member's cone, only the
+// exporters actually allowed to reach the mutated member (before or
+// after the delta) are seeded — with restrictive filters most
+// co-members never were, and their cones stay clean.
 package propagate
 
 import (
@@ -157,17 +162,15 @@ func (e *Engine) Apply(d *Delta) ([]bgp.ASN, error) {
 		seeds = append(seeds, i)
 		return nil
 	}
-	seedIXP := func(xi int16) {
-		// Import-side effects: a member can gain or lose an RS route
-		// only when some exporter at the IXP holds a customer route, so
-		// the union of all members' cones covers every affected
-		// destination. Membership is read before mutation; joined
-		// members are seeded separately by their own op.
-		for _, mi := range e.ixps[xi].members {
-			seeds = append(seeds, mi)
-		}
-	}
 
+	// Resolve every reference up front (errors must leave the engine
+	// untouched) and remember the RS ops: their import-side seeding
+	// needs both the pre- and post-mutation allowed-pair bitsets.
+	type rsRef struct {
+		xi int16
+		mi int32
+	}
+	var memberOps, filterOps []rsRef
 	for _, op := range d.Peers {
 		if err := seedASN(op.A); err != nil {
 			return nil, err
@@ -185,7 +188,7 @@ func (e *Engine) Apply(d *Delta) ([]bgp.ASN, error) {
 		if err := seedASN(op.Member); err != nil {
 			return nil, err
 		}
-		seedIXP(xi)
+		memberOps = append(memberOps, rsRef{xi: xi, mi: e.idx[op.Member]})
 	}
 	for _, op := range d.Filters {
 		xi, ok := e.ixpsByName[op.IXP]
@@ -196,13 +199,7 @@ func (e *Engine) Apply(d *Delta) ([]bgp.ASN, error) {
 		if err := seedASN(op.Member); err != nil {
 			return nil, err
 		}
-		// An export-side edit only affects destinations the member
-		// itself can export (its cone, seeded above). An import-side
-		// edit affects routes received from any exporter.
-		st := e.ixps[xi]
-		if s := st.slotOf[e.idx[op.Member]]; s >= 0 && st.hasImport[s] && !st.imports[s].Equal(op.Import) {
-			seedIXP(xi)
-		}
+		filterOps = append(filterOps, rsRef{xi: xi, mi: e.idx[op.Member]})
 	}
 	for _, op := range d.Prefixes {
 		for _, a := range []bgp.ASN{op.From, op.To} {
@@ -212,6 +209,13 @@ func (e *Engine) Apply(d *Delta) ([]bgp.ASN, error) {
 			}
 			point = append(point, i)
 		}
+	}
+
+	// Snapshot the mutated IXPs' pre-delta state: the bitset diff below
+	// compares allowed pairs before and after.
+	oldIXP := make(map[int16]*ixpState, len(touchedIXP))
+	for xi := range touchedIXP {
+		oldIXP[xi] = e.ixps[xi]
 	}
 
 	if err := d.ApplyToTopology(e.topo); err != nil {
@@ -232,6 +236,54 @@ func (e *Engine) Apply(d *Delta) ([]bgp.ASN, error) {
 		st := e.buildIXPState(e.ixps[xi].info)
 		e.totalMembers += len(st.members) - len(e.ixps[xi].members)
 		e.ixps[xi] = st
+	}
+
+	// Import-side seeds, tightened by the allowed-pair bitsets: member
+	// m's received RS routes can change only through exporters e whose
+	// allowed(e→m) bit is set — in the old state for pairs that existed
+	// (leaves, import narrowing), the new state for pairs created
+	// (joins, import widening). m's own cone, seeded above, covers the
+	// export side (m→v pairs only carry destinations m can export). A
+	// pair between two unmutated members is untouched by the delta, so
+	// nothing else can change and the old every-member-cone union is
+	// provably over-conservative.
+	seedAllowedInto := func(st *ixpState, mi int32) {
+		s := st.slotOf[mi]
+		if s < 0 {
+			return
+		}
+		for es, ei := range st.members {
+			if ei != mi && st.allowedBit(int32(es), s) {
+				seeds = append(seeds, ei)
+			}
+		}
+	}
+	for _, r := range memberOps {
+		seedAllowedInto(oldIXP[r.xi], r.mi) // leave: pairs that existed
+		seedAllowedInto(e.ixps[r.xi], r.mi) // join: pairs created
+	}
+	for _, r := range filterOps {
+		// A filter edit keeps membership (and member slots) intact:
+		// seed only the exporters whose bit toward the member flipped.
+		oldSt, newSt := oldIXP[r.xi], e.ixps[r.xi]
+		so, sn := oldSt.slotOf[r.mi], newSt.slotOf[r.mi]
+		for es, ei := range newSt.members {
+			if ei == r.mi {
+				continue
+			}
+			var ob, nb bool
+			if so >= 0 {
+				if eo := oldSt.slotOf[ei]; eo >= 0 {
+					ob = oldSt.allowedBit(eo, so)
+				}
+			}
+			if sn >= 0 {
+				nb = newSt.allowedBit(int32(es), sn)
+			}
+			if ob != nb {
+				seeds = append(seeds, ei)
+			}
+		}
 	}
 
 	// Dirty set: the union of the seeds' customer cones (down-CSR BFS)

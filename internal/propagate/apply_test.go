@@ -253,6 +253,87 @@ func TestApplyPartialFailureRepairs(t *testing.T) {
 	}
 }
 
+// downCone walks the engine's dirty-propagation relation (customers
+// plus siblings) from asn: the per-seed dirty contribution.
+func downCone(topo *topology.Topology, asn bgp.ASN, into map[bgp.ASN]bool) {
+	if into[asn] {
+		return
+	}
+	into[asn] = true
+	if as := topo.ASes[asn]; as != nil {
+		for _, c := range as.Customers {
+			downCone(topo, c, into)
+		}
+		for _, s := range as.Siblings {
+			downCone(topo, s, into)
+		}
+	}
+}
+
+// TestApplyTightenedDirtySets pins the bitset tightening for RS
+// membership ops: the dirty set must stay inside the old conservative
+// rule (the mutated member's cone plus every co-member's cone) and,
+// when the departing member's filters are restrictive, exclude the
+// cones of exporters that never had an allowed pair with it.
+func TestApplyTightenedDirtySets(t *testing.T) {
+	topo, err := topology.Generate(topology.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick the RS member with the most restrictive import policy
+	// (NoneExcept with the fewest includes) at an IXP with enough
+	// members for the tightening to matter.
+	var pickIXP string
+	var pickMember bgp.ASN
+	bestIncludes := 1 << 30
+	for _, info := range topo.IXPs {
+		members := info.SortedRSMembers()
+		if len(members) < 8 {
+			continue
+		}
+		for _, m := range members {
+			imp, ok := topo.ImportFilter(info.Name, m)
+			if !ok || imp.Mode != ixp.ModeNoneExcept {
+				continue
+			}
+			if n := len(imp.Peers); n < bestIncludes {
+				pickIXP, pickMember, bestIncludes = info.Name, m, n
+			}
+		}
+	}
+	if pickIXP == "" {
+		t.Skip("generated world has no restrictive RS importer")
+	}
+
+	// Conservative rule: member cone + every co-member cone.
+	conservative := make(map[bgp.ASN]bool)
+	info := topo.IXPByName(pickIXP)
+	for _, m := range info.SortedRSMembers() {
+		downCone(topo, m, conservative)
+	}
+
+	eng := NewEngine(topo, 0)
+	dirty, err := eng.Apply(&Delta{Members: []MemberOp{{IXP: pickIXP, Member: pickMember, Join: false}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) == 0 {
+		t.Fatal("leave produced no dirty destinations")
+	}
+	for _, d := range dirty {
+		if !conservative[d] {
+			t.Fatalf("dirty destination %s outside the conservative cone union", d)
+		}
+	}
+	if len(dirty) >= len(conservative) {
+		t.Fatalf("tightened dirty set (%d dests) did not shrink the conservative rule (%d dests) for restrictive importer %s@%s",
+			len(dirty), len(conservative), pickMember, pickIXP)
+	}
+	t.Logf("dirty %d of conservative %d dests (importer %s@%s, %d includes)",
+		len(dirty), len(conservative), pickMember, pickIXP, bestIncludes)
+}
+
 // TestApplyUnknownRefs rejects deltas referencing unknown ASes or IXPs.
 func TestApplyUnknownRefs(t *testing.T) {
 	topo, err := topology.Generate(topology.TestConfig())

@@ -66,7 +66,7 @@ func (a *RouteArena) pathSlice(n int) []bgp.ASN {
 		a.hi++
 		return a.pathSlice(n)
 	}
-	s := cur[len(cur):len(cur) : len(cur)+n]
+	s := cur[len(cur) : len(cur) : len(cur)+n]
 	a.hops[a.hi] = cur[:len(cur)+n]
 	return s
 }

@@ -1,0 +1,259 @@
+// Delta-maintained relationship inference: the windowed passive
+// pipeline re-runs AS-relationship inference at every window close, but
+// between adjacent windows only a handful of distinct AS paths enter or
+// leave the live table. Incremental maintains the batch algorithm's
+// aggregates — adjacency, transit-neighbor counts, per-pair orientation
+// votes — as refcounted counters updated by AddPath/RemovePath, and
+// re-derives only what the deltas invalidated at Commit: the greedy
+// clique (cheap, O(ASes log ASes)) and the vote contributions of paths
+// whose hops changed transit degree or clique membership. Relationship
+// labels are resolved on demand from the maintained counters through
+// the same resolveRel the batch Infer uses, so an Incremental that saw
+// AddPath for exactly the live path set answers every query identically
+// to a fresh Infer over that set.
+package relation
+
+import (
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/paths"
+	"mlpeering/internal/topology"
+)
+
+// transitPair identifies one (interior AS, neighbor) adjacency used for
+// transit-degree accounting.
+type transitPair struct {
+	mid, nbr bgp.ASN
+}
+
+// voteEdge is one cached vote a path contributed: customer side of key.
+type voteEdge struct {
+	key      topology.LinkKey
+	customer bgp.ASN
+}
+
+// Incremental is a delta-maintained relationship inference over the
+// distinct paths of an interned store. AddPath/RemovePath apply
+// structural deltas immediately; Commit re-derives the clique and
+// re-votes invalidated paths. Queries are only valid after a Commit
+// with no later Add/Remove. Not safe for concurrent use.
+type Incremental struct {
+	store *paths.Store
+
+	adj     map[topology.LinkKey]int // refcount: paths containing the edge
+	transit map[transitPair]int      // refcount: paths where mid transits for nbr
+	degree  map[bgp.ASN]int          // distinct transit neighbors (len of live pairs)
+	votes   map[topology.LinkKey]*vote
+
+	pathVotes map[paths.ID][]voteEdge       // cached contribution of each voted path
+	pathsByAS map[bgp.ASN]map[paths.ID]bool // hop -> live paths (vote invalidation index)
+	pending   map[paths.ID]bool             // added since last Commit, not yet voted
+	touched   map[bgp.ASN]int               // AS -> degree at first touch since last Commit
+
+	clique    []bgp.ASN
+	cliqueSet map[bgp.ASN]bool
+
+	revoteScratch map[paths.ID]bool
+}
+
+// NewIncremental returns an empty incremental inference over store.
+func NewIncremental(store *paths.Store) *Incremental {
+	return &Incremental{
+		store:         store,
+		adj:           make(map[topology.LinkKey]int),
+		transit:       make(map[transitPair]int),
+		degree:        make(map[bgp.ASN]int),
+		votes:         make(map[topology.LinkKey]*vote),
+		pathVotes:     make(map[paths.ID][]voteEdge),
+		pathsByAS:     make(map[bgp.ASN]map[paths.ID]bool),
+		pending:       make(map[paths.ID]bool),
+		touched:       make(map[bgp.ASN]int),
+		cliqueSet:     make(map[bgp.ASN]bool),
+		revoteScratch: make(map[paths.ID]bool),
+	}
+}
+
+// touchDegree records a's pre-delta degree the first time it moves
+// inside a Commit cycle, so Commit can tell real changes from churn
+// that cancelled out.
+func (inc *Incremental) touchDegree(a bgp.ASN) {
+	if _, ok := inc.touched[a]; !ok {
+		inc.touched[a] = inc.degree[a]
+	}
+}
+
+// AddPath registers one distinct path as live: adjacency and transit
+// counts move immediately, voting is deferred to Commit (votes depend
+// on the post-delta clique and degrees).
+func (inc *Incremental) AddPath(id paths.ID) {
+	path := dedupAdjacent(inc.store.Path(id))
+	for i := 0; i+1 < len(path); i++ {
+		inc.adj[topology.MakeLinkKey(path[i], path[i+1])]++
+	}
+	for i := 1; i+1 < len(path); i++ {
+		for _, nbr := range [2]bgp.ASN{path[i-1], path[i+1]} {
+			p := transitPair{path[i], nbr}
+			inc.transit[p]++
+			if inc.transit[p] == 1 {
+				inc.touchDegree(path[i])
+				inc.degree[path[i]]++
+			}
+		}
+	}
+	for _, a := range path {
+		m := inc.pathsByAS[a]
+		if m == nil {
+			m = make(map[paths.ID]bool)
+			inc.pathsByAS[a] = m
+		}
+		m[id] = true
+	}
+	inc.pending[id] = true
+}
+
+// RemovePath unregisters a live path, rolling back its structural
+// counts and any cached vote contribution.
+func (inc *Incremental) RemovePath(id paths.ID) {
+	path := dedupAdjacent(inc.store.Path(id))
+	for i := 0; i+1 < len(path); i++ {
+		key := topology.MakeLinkKey(path[i], path[i+1])
+		if inc.adj[key]--; inc.adj[key] == 0 {
+			delete(inc.adj, key)
+		}
+	}
+	for i := 1; i+1 < len(path); i++ {
+		for _, nbr := range [2]bgp.ASN{path[i-1], path[i+1]} {
+			p := transitPair{path[i], nbr}
+			if inc.transit[p]--; inc.transit[p] == 0 {
+				delete(inc.transit, p)
+				inc.touchDegree(path[i])
+				if inc.degree[path[i]]--; inc.degree[path[i]] == 0 {
+					delete(inc.degree, path[i])
+				}
+			}
+		}
+	}
+	for _, a := range path {
+		if m := inc.pathsByAS[a]; m != nil {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(inc.pathsByAS, a)
+			}
+		}
+	}
+	delete(inc.pending, id)
+	inc.subtractVotes(id)
+}
+
+// subtractVotes rolls back id's cached vote contribution.
+func (inc *Incremental) subtractVotes(id paths.ID) {
+	for _, e := range inc.pathVotes[id] {
+		v := inc.votes[e.key]
+		v.add(e.key, e.customer, -1)
+		if v.empty() {
+			delete(inc.votes, e.key)
+		}
+	}
+	delete(inc.pathVotes, id)
+}
+
+// Commit re-derives the clique from the maintained degrees and re-votes
+// every path the deltas invalidated: paths added since the last Commit,
+// plus live paths containing an AS whose transit degree or clique
+// membership changed. After Commit, queries answer exactly as a batch
+// Infer over the current live path set.
+func (inc *Incremental) Commit() {
+	newClique := greedyClique(inc.degree, func(a, b bgp.ASN) bool {
+		return inc.adj[topology.MakeLinkKey(a, b)] > 0
+	})
+	newSet := make(map[bgp.ASN]bool, len(newClique))
+	for _, a := range newClique {
+		newSet[a] = true
+	}
+
+	revote := inc.revoteScratch
+	clear(revote)
+	for id := range inc.pending {
+		revote[id] = true
+	}
+	invalidate := func(a bgp.ASN) {
+		for id := range inc.pathsByAS[a] {
+			revote[id] = true
+		}
+	}
+	for a, old := range inc.touched {
+		if inc.degree[a] != old {
+			invalidate(a)
+		}
+	}
+	for _, a := range inc.clique {
+		if !newSet[a] {
+			invalidate(a)
+		}
+	}
+	for _, a := range newClique {
+		if !inc.cliqueSet[a] {
+			invalidate(a)
+		}
+	}
+
+	inc.clique, inc.cliqueSet = newClique, newSet
+	for id := range revote {
+		inc.subtractVotes(id)
+		path := dedupAdjacent(inc.store.Path(id))
+		var edges []voteEdge
+		emitPathVotes(path, inc.cliqueSet, inc.degree, func(customer, provider bgp.ASN) {
+			key := topology.MakeLinkKey(customer, provider)
+			v := inc.votes[key]
+			if v == nil {
+				v = &vote{}
+				inc.votes[key] = v
+			}
+			v.add(key, customer, 1)
+			edges = append(edges, voteEdge{key: key, customer: customer})
+		})
+		if len(edges) > 0 {
+			inc.pathVotes[id] = edges
+		}
+	}
+	clear(inc.pending)
+	clear(inc.touched)
+}
+
+// Relationship returns the pair's relationship from a's perspective,
+// resolved on demand from the maintained counters.
+func (inc *Incremental) Relationship(a, b bgp.ASN) Rel {
+	key := topology.MakeLinkKey(a, b)
+	if inc.adj[key] == 0 {
+		return RelUnknown
+	}
+	r := resolveRel(key, inc.votes[key], inc.cliqueSet, inc.degree)
+	if a == key.A {
+		return r
+	}
+	switch r {
+	case RelC2P:
+		return RelP2C
+	case RelP2C:
+		return RelC2P
+	default:
+		return r
+	}
+}
+
+// LinkCount returns the number of inferred links (adjacent pairs).
+func (inc *Incremental) LinkCount() int { return len(inc.adj) }
+
+// ForEachLink calls fn for every inferred link until fn returns false,
+// resolving each label on demand. Iteration order is undefined.
+func (inc *Incremental) ForEachLink(fn func(topology.LinkKey, Rel) bool) {
+	for key := range inc.adj {
+		if !fn(key, resolveRel(key, inc.votes[key], inc.cliqueSet, inc.degree)) {
+			return
+		}
+	}
+}
+
+// Clique returns the current transit-free clique.
+func (inc *Incremental) Clique() []bgp.ASN {
+	return append([]bgp.ASN(nil), inc.clique...)
+}

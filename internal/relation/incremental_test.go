@@ -1,0 +1,220 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/paths"
+	"mlpeering/internal/topology"
+)
+
+// synthPaths builds a small hierarchical path population: a clique of
+// high-degree cores, mid-tier transits, and stub origins, giving the
+// inference real peaks, conflicting votes and degree ties to chew on.
+func synthPaths(rng *rand.Rand, n int) [][]bgp.ASN {
+	cores := []bgp.ASN{10, 11, 12, 13}
+	mids := []bgp.ASN{100, 101, 102, 103, 104, 105, 106, 107}
+	stubs := make([]bgp.ASN, 40)
+	for i := range stubs {
+		stubs[i] = bgp.ASN(1000 + i)
+	}
+	var out [][]bgp.ASN
+	for i := 0; i < n; i++ {
+		collectorSide := mids[rng.Intn(len(mids))]
+		core1 := cores[rng.Intn(len(cores))]
+		mid := mids[rng.Intn(len(mids))]
+		origin := stubs[rng.Intn(len(stubs))]
+		switch rng.Intn(4) {
+		case 0: // mid - core - mid - stub
+			core2 := cores[rng.Intn(len(cores))]
+			out = append(out, []bgp.ASN{collectorSide, core1, core2, mid, origin})
+		case 1: // mid - core - mid - stub (single core)
+			out = append(out, []bgp.ASN{collectorSide, core1, mid, origin})
+		case 2: // mid - mid - stub (no clique crossing)
+			out = append(out, []bgp.ASN{collectorSide, mid, origin})
+		default: // direct stub
+			out = append(out, []bgp.ASN{collectorSide, origin})
+		}
+	}
+	return out
+}
+
+// assertOracleEquivalence compares the incremental oracle against a
+// fresh batch Infer over the same live path set: clique, link count,
+// every link label from ForEachLink, and Relationship in both
+// orientations.
+func assertOracleEquivalence(t *testing.T, step int, store *paths.Store, live map[paths.ID]bool, inc *Incremental) {
+	t.Helper()
+	var ids []paths.ID
+	for id := range live {
+		ids = append(ids, id)
+	}
+	batch := Infer(paths.NewView(store, ids))
+
+	bc, ic := batch.Clique(), inc.Clique()
+	if len(bc) != len(ic) {
+		t.Fatalf("step %d: clique sizes diverge: batch %v vs incremental %v", step, bc, ic)
+	}
+	for i := range bc {
+		if bc[i] != ic[i] {
+			t.Fatalf("step %d: cliques diverge: batch %v vs incremental %v", step, bc, ic)
+		}
+	}
+
+	if batch.LinkCount() != inc.LinkCount() {
+		t.Fatalf("step %d: link counts diverge: batch %d vs incremental %d", step, batch.LinkCount(), inc.LinkCount())
+	}
+	got := make(map[topology.LinkKey]Rel, inc.LinkCount())
+	inc.ForEachLink(func(k topology.LinkKey, r Rel) bool {
+		got[k] = r
+		return true
+	})
+	batch.ForEachLink(func(k topology.LinkKey, want Rel) bool {
+		if got[k] != want {
+			t.Fatalf("step %d: link %v: batch %v vs incremental %v", step, k, want, got[k])
+		}
+		// Both orientations of the pairwise query must agree too.
+		if batch.Relationship(k.A, k.B) != inc.Relationship(k.A, k.B) ||
+			batch.Relationship(k.B, k.A) != inc.Relationship(k.B, k.A) {
+			t.Fatalf("step %d: Relationship(%v) diverges", step, k)
+		}
+		return true
+	})
+	if inc.Relationship(4200000000, 4200000001) != RelUnknown {
+		t.Fatalf("step %d: unknown pair not RelUnknown", step)
+	}
+}
+
+// TestIncrementalMatchesBatch churns paths in and out of the live set
+// and pins the incremental oracle to a fresh batch Infer after every
+// Commit.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(20130501))
+	pool := synthPaths(rng, 120)
+
+	store := paths.NewStore()
+	ids := make([]paths.ID, len(pool))
+	for i, p := range pool {
+		ids[i] = store.Intern(p)
+	}
+
+	inc := NewIncremental(store)
+	live := make(map[paths.ID]bool)
+	for step := 0; step < 30; step++ {
+		// Random batch of adds and removes between commits.
+		for n := 0; n < 8; n++ {
+			id := ids[rng.Intn(len(ids))]
+			if live[id] {
+				delete(live, id)
+				inc.RemovePath(id)
+			} else {
+				live[id] = true
+				inc.AddPath(id)
+			}
+		}
+		inc.Commit()
+		assertOracleEquivalence(t, step, store, live, inc)
+	}
+
+	// Drain to empty: the oracle must unwind cleanly.
+	for id := range live {
+		inc.RemovePath(id)
+		delete(live, id)
+	}
+	inc.Commit()
+	assertOracleEquivalence(t, 999, store, live, inc)
+	if inc.LinkCount() != 0 || len(inc.votes) != 0 || len(inc.transit) != 0 || len(inc.degree) != 0 {
+		t.Fatalf("drained oracle retains state: %d links, %d votes, %d transit, %d degrees",
+			inc.LinkCount(), len(inc.votes), len(inc.transit), len(inc.degree))
+	}
+}
+
+// TestIncrementalFlapIsIdempotent removes and re-adds the same paths
+// between two commits: the maintained counters must return to the
+// pre-flap state exactly.
+func TestIncrementalFlapIsIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pool := synthPaths(rng, 60)
+	store := paths.NewStore()
+
+	inc := NewIncremental(store)
+	live := make(map[paths.ID]bool)
+	for _, p := range pool {
+		id := store.Intern(p)
+		if !live[id] {
+			live[id] = true
+			inc.AddPath(id)
+		}
+	}
+	inc.Commit()
+
+	before := make(map[topology.LinkKey]Rel)
+	inc.ForEachLink(func(k topology.LinkKey, r Rel) bool { before[k] = r; return true })
+
+	// Flap half the live set inside one commit cycle.
+	i := 0
+	for id := range live {
+		if i++; i%2 == 0 {
+			continue
+		}
+		inc.RemovePath(id)
+		inc.AddPath(id)
+	}
+	inc.Commit()
+
+	after := make(map[topology.LinkKey]Rel)
+	inc.ForEachLink(func(k topology.LinkKey, r Rel) bool { after[k] = r; return true })
+	if len(before) != len(after) {
+		t.Fatalf("flap changed link count: %d vs %d", len(before), len(after))
+	}
+	for k, r := range before {
+		if after[k] != r {
+			t.Fatalf("flap changed link %v: %v vs %v", k, r, after[k])
+		}
+	}
+	assertOracleEquivalence(t, 0, store, live, inc)
+}
+
+// TestInferenceIterators pins the allocation-free iterator variants to
+// the map-allocating originals.
+func TestInferenceIterators(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inf := InferPaths(synthPaths(rng, 80))
+
+	links := inf.Links()
+	if len(links) != inf.LinkCount() {
+		t.Fatalf("LinkCount %d != len(Links) %d", inf.LinkCount(), len(links))
+	}
+	seen := 0
+	inf.ForEachLink(func(k topology.LinkKey, r Rel) bool {
+		if links[k] != r {
+			t.Fatalf("ForEachLink %v=%v disagrees with Links()=%v", k, r, links[k])
+		}
+		seen++
+		return true
+	})
+	if seen != len(links) {
+		t.Fatalf("ForEachLink visited %d of %d links", seen, len(links))
+	}
+	// Early exit stops the walk.
+	n := 0
+	inf.ForEachLink(func(topology.LinkKey, Rel) bool { n++; return false })
+	if n > 1 {
+		t.Fatalf("ForEachLink ignored early exit (visited %d)", n)
+	}
+
+	for _, asn := range []bgp.ASN{10, 100, 1000} {
+		cone := inf.CustomerCone(asn)
+		got := make(map[bgp.ASN]bool)
+		inf.ForEachConeMember(asn, func(a bgp.ASN) bool { got[a] = true; return true })
+		if len(got) != len(cone) {
+			t.Fatalf("cone of %v: iterator %d members, map %d", asn, len(got), len(cone))
+		}
+		for a := range cone {
+			if !got[a] {
+				t.Fatalf("cone of %v: iterator missed %v", asn, a)
+			}
+		}
+	}
+}

@@ -40,6 +40,20 @@ func (r Rel) String() string {
 	}
 }
 
+// Oracle answers relationship queries. It is implemented by the batch
+// Inference and by the delta-maintained Incremental, so consumers like
+// the RS-setter pinpointing of §4.2 work identically over a snapshot
+// inference and an incrementally maintained one.
+type Oracle interface {
+	// Relationship returns the pair's relationship from a's perspective.
+	Relationship(a, b bgp.ASN) Rel
+	// LinkCount returns the number of inferred links (adjacent pairs).
+	LinkCount() int
+	// ForEachLink calls fn for every inferred link until fn returns
+	// false, without materializing a map. Iteration order is undefined.
+	ForEachLink(fn func(topology.LinkKey, Rel) bool)
+}
+
 // Inference holds the inferred relationship graph.
 type Inference struct {
 	rels map[topology.LinkKey]Rel
@@ -49,6 +63,8 @@ type Inference struct {
 
 	customers map[bgp.ASN][]bgp.ASN // provider -> direct customers
 	clique    []bgp.ASN
+
+	coneScratch map[bgp.ASN]bool // reused by ForEachConeMember
 }
 
 // Relationship returns the inferred relationship of the pair (a, b),
@@ -73,13 +89,27 @@ func (inf *Inference) Relationship(a, b bgp.ASN) Rel {
 	}
 }
 
-// Links returns all inferred links.
+// Links returns all inferred links as a fresh map. Prefer ForEachLink
+// on hot paths: it walks the same set without allocating.
 func (inf *Inference) Links() map[topology.LinkKey]Rel {
 	out := make(map[topology.LinkKey]Rel, len(inf.rels))
 	for k, v := range inf.rels {
 		out[k] = v
 	}
 	return out
+}
+
+// LinkCount returns the number of inferred links.
+func (inf *Inference) LinkCount() int { return len(inf.rels) }
+
+// ForEachLink calls fn for every inferred link until fn returns false.
+// It allocates nothing; iteration order is undefined.
+func (inf *Inference) ForEachLink(fn func(topology.LinkKey, Rel) bool) {
+	for k, v := range inf.rels {
+		if !fn(k, v) {
+			return
+		}
+	}
 }
 
 // Clique returns the inferred transit-free clique.
@@ -97,21 +127,44 @@ func (inf *Inference) CustomerDegree(asn bgp.ASN) int {
 func (inf *Inference) IsStub(asn bgp.ASN) bool { return len(inf.customers[asn]) == 0 }
 
 // CustomerCone returns asn plus every AS reachable via inferred p2c
-// edges — the customer cone of [32].
+// edges — the customer cone of [32] — as a fresh map. Prefer
+// ForEachConeMember on hot paths: it walks the same cone without
+// allocating a map per call.
 func (inf *Inference) CustomerCone(asn bgp.ASN) map[bgp.ASN]bool {
 	cone := make(map[bgp.ASN]bool)
-	var walk func(a bgp.ASN)
-	walk = func(a bgp.ASN) {
-		if cone[a] {
-			return
-		}
-		cone[a] = true
-		for _, c := range inf.customers[a] {
-			walk(c)
+	inf.walkCone(asn, cone, func(bgp.ASN) bool { return true })
+	return cone
+}
+
+// ForEachConeMember calls fn for every AS in asn's customer cone (asn
+// included) until fn returns false. The visited set is an internal
+// scratch map reused across calls, so after the first call the walk is
+// allocation-free. Not safe for concurrent use.
+func (inf *Inference) ForEachConeMember(asn bgp.ASN, fn func(bgp.ASN) bool) {
+	if inf.coneScratch == nil {
+		inf.coneScratch = make(map[bgp.ASN]bool)
+	}
+	clear(inf.coneScratch)
+	inf.walkCone(asn, inf.coneScratch, fn)
+}
+
+// walkCone runs the cone DFS over the customers lists, marking visited
+// ASes in seen and reporting each newly visited AS to fn. It stops
+// early when fn returns false.
+func (inf *Inference) walkCone(asn bgp.ASN, seen map[bgp.ASN]bool, fn func(bgp.ASN) bool) bool {
+	if seen[asn] {
+		return true
+	}
+	seen[asn] = true
+	if !fn(asn) {
+		return false
+	}
+	for _, c := range inf.customers[asn] {
+		if !inf.walkCone(c, seen, fn) {
+			return false
 		}
 	}
-	walk(asn)
-	return cone
+	return true
 }
 
 // TransitDegree returns the AS's transit degree.
@@ -164,39 +217,15 @@ func Infer(v paths.View) *Inference {
 
 	// Pass 1: clique — greedily grow a mutually-adjacent set from the
 	// highest transit degrees (simplified from [32]'s Bron-Kerbosch).
-	var byDegree []bgp.ASN
-	for a := range inf.transitDegree {
-		byDegree = append(byDegree, a)
-	}
-	sort.Slice(byDegree, func(i, j int) bool {
-		if inf.transitDegree[byDegree[i]] != inf.transitDegree[byDegree[j]] {
-			return inf.transitDegree[byDegree[i]] > inf.transitDegree[byDegree[j]]
-		}
-		return byDegree[i] < byDegree[j]
+	inf.clique = greedyClique(inf.transitDegree, func(a, b bgp.ASN) bool {
+		return adjacent[topology.MakeLinkKey(a, b)]
 	})
-	const cliqueScan = 24
-	for _, cand := range byDegree {
-		if len(inf.clique) >= cliqueScan {
-			break
-		}
-		ok := true
-		for _, member := range inf.clique {
-			if !adjacent[topology.MakeLinkKey(cand, member)] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			inf.clique = append(inf.clique, cand)
-		}
-	}
 	cliqueSet := make(map[bgp.ASN]bool, len(inf.clique))
 	for _, a := range inf.clique {
 		cliqueSet[a] = true
 	}
 
 	// Pass 2: vote c2p orientations around each path's peak.
-	type vote struct{ ab, ba int } // ab: A customer of B
 	votes := make(map[topology.LinkKey]*vote)
 	addVote := func(customer, provider bgp.ASN) {
 		key := topology.MakeLinkKey(customer, provider)
@@ -205,85 +234,19 @@ func Infer(v paths.View) *Inference {
 			v = &vote{}
 			votes[key] = v
 		}
-		if key.A == customer {
-			v.ab++
-		} else {
-			v.ba++
-		}
+		v.add(key, customer, 1)
 	}
 	for pi := 0; pi < v.Len(); pi++ {
 		path := dedupAdjacent(v.Path(pi))
-		if len(path) < 2 {
-			continue
-		}
-		peak := 0
-		for i := 1; i < len(path); i++ {
-			if cliqueSet[path[i]] && !cliqueSet[path[peak]] {
-				peak = i
-				continue
-			}
-			if cliqueSet[path[peak]] && !cliqueSet[path[i]] {
-				continue
-			}
-			if inf.transitDegree[path[i]] > inf.transitDegree[path[peak]] {
-				peak = i
-			}
-		}
-		// Left of the peak: each hop descends toward the collector, so
-		// path[i] is the provider of path[i+1]... no: collector-side
-		// first means traffic flows origin -> collector; the uphill
-		// direction is origin toward peak. Links right of the peak
-		// (origin side) are customer->provider left-ward.
-		for i := 0; i < peak; i++ {
-			// path[i] is nearer the collector: it heard the route from
-			// path[i+1]; between peak and collector routes flow down,
-			// so path[i] is a customer of path[i+1].
-			addVote(path[i], path[i+1])
-		}
-		for i := peak; i+1 < len(path); i++ {
-			// Origin side: path[i+1] announced to path[i], its provider.
-			addVote(path[i+1], path[i])
-		}
+		emitPathVotes(path, cliqueSet, inf.transitDegree, addVote)
 	}
 
-	// Pass 3: resolve votes. Clique pairs are p2p by construction.
+	// Pass 3: resolve votes (clique pairs are p2p by construction) and
+	// refine single-direction c2p links between comparable high-degree
+	// ASes into p2p — both folded into resolveRel, which is shared with
+	// the incremental oracle.
 	for key := range adjacent {
-		if cliqueSet[key.A] && cliqueSet[key.B] {
-			inf.rels[key] = RelP2P
-			continue
-		}
-		v := votes[key]
-		switch {
-		case v == nil:
-			inf.rels[key] = RelUnknown
-		case v.ab > 0 && v.ba > 0:
-			// Conflicting votes: links adjacent to the peak are usually
-			// p2p (the single peer link of a valley-free path).
-			if ratio(v.ab, v.ba) < 2 {
-				inf.rels[key] = RelP2P
-			} else if v.ab > v.ba {
-				inf.rels[key] = RelC2P
-			} else {
-				inf.rels[key] = RelP2C
-			}
-		case v.ab > 0:
-			inf.rels[key] = RelC2P
-		case v.ba > 0:
-			inf.rels[key] = RelP2C
-		}
-	}
-
-	// The peak's left neighbor link is the peer link when both sides
-	// have comparable transit degree; refine single-vote c2p links that
-	// connect two high-degree ASes into p2p.
-	for key, rel := range inf.rels {
-		if rel != RelC2P && rel != RelP2C {
-			continue
-		}
-		da, db := inf.transitDegree[key.A], inf.transitDegree[key.B]
-		if da > 10 && db > 10 && ratio(da, db) < 3 && !cliqueSet[key.A] && !cliqueSet[key.B] {
-			inf.rels[key] = RelP2P
-		}
+		inf.rels[key] = resolveRel(key, votes[key], cliqueSet, inf.transitDegree)
 	}
 
 	// Customer lists.
@@ -299,6 +262,135 @@ func Infer(v paths.View) *Inference {
 		sort.Slice(inf.customers[a], func(i, j int) bool { return inf.customers[a][i] < inf.customers[a][j] })
 	}
 	return inf
+}
+
+// vote counts c2p orientation evidence for an unordered pair: ab votes
+// say A is the customer of B, ba the reverse.
+type vote struct{ ab, ba int }
+
+// add records n votes (n may be negative for refcounted maintenance)
+// for customer being the customer side of key.
+func (v *vote) add(key topology.LinkKey, customer bgp.ASN, n int) {
+	if key.A == customer {
+		v.ab += n
+	} else {
+		v.ba += n
+	}
+}
+
+func (v *vote) empty() bool { return v.ab == 0 && v.ba == 0 }
+
+// greedyClique grows the transit-free clique from the highest transit
+// degrees: candidates sorted by (degree desc, ASN asc), each admitted
+// when adjacent to every member already chosen, scanning until the
+// clique reaches cliqueScan members. Deterministic for a given degree
+// map and adjacency predicate.
+func greedyClique(degree map[bgp.ASN]int, adjacent func(a, b bgp.ASN) bool) []bgp.ASN {
+	byDegree := make([]bgp.ASN, 0, len(degree))
+	for a := range degree {
+		byDegree = append(byDegree, a)
+	}
+	sort.Slice(byDegree, func(i, j int) bool {
+		if degree[byDegree[i]] != degree[byDegree[j]] {
+			return degree[byDegree[i]] > degree[byDegree[j]]
+		}
+		return byDegree[i] < byDegree[j]
+	})
+	const cliqueScan = 24
+	var clique []bgp.ASN
+	for _, cand := range byDegree {
+		if len(clique) >= cliqueScan {
+			break
+		}
+		ok := true
+		for _, member := range clique {
+			if !adjacent(cand, member) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			clique = append(clique, cand)
+		}
+	}
+	return clique
+}
+
+// pathPeak locates the path's "peak": the first clique member, or
+// failing that the hop with the highest transit degree (first wins
+// ties).
+func pathPeak(path []bgp.ASN, cliqueSet map[bgp.ASN]bool, degree map[bgp.ASN]int) int {
+	peak := 0
+	for i := 1; i < len(path); i++ {
+		if cliqueSet[path[i]] && !cliqueSet[path[peak]] {
+			peak = i
+			continue
+		}
+		if cliqueSet[path[peak]] && !cliqueSet[path[i]] {
+			continue
+		}
+		if degree[path[i]] > degree[path[peak]] {
+			peak = i
+		}
+	}
+	return peak
+}
+
+// emitPathVotes generates one path's c2p votes around its peak. The
+// path must already be prepending-collapsed. Collector-side first means
+// traffic flows origin -> collector: links between the peak and the
+// collector flow down (the collector-side AS is the customer), links on
+// the origin side are announced customer -> provider left-ward.
+func emitPathVotes(path []bgp.ASN, cliqueSet map[bgp.ASN]bool, degree map[bgp.ASN]int, emit func(customer, provider bgp.ASN)) {
+	if len(path) < 2 {
+		return
+	}
+	peak := pathPeak(path, cliqueSet, degree)
+	for i := 0; i < peak; i++ {
+		// path[i] is nearer the collector: it heard the route from
+		// path[i+1], so path[i] is a customer of path[i+1].
+		emit(path[i], path[i+1])
+	}
+	for i := peak; i+1 < len(path); i++ {
+		// Origin side: path[i+1] announced to path[i], its provider.
+		emit(path[i+1], path[i])
+	}
+}
+
+// resolveRel labels one adjacent pair from its votes, clique membership
+// and transit degrees: clique pairs are p2p by construction, conflicting
+// votes within a 2x ratio are the peak-adjacent peer link, and
+// single-direction c2p links between comparable high-degree non-clique
+// ASes are refined into p2p. v may be nil (adjacent but never voted).
+func resolveRel(key topology.LinkKey, v *vote, cliqueSet map[bgp.ASN]bool, degree map[bgp.ASN]int) Rel {
+	aClique, bClique := cliqueSet[key.A], cliqueSet[key.B]
+	if aClique && bClique {
+		return RelP2P
+	}
+	var rel Rel
+	switch {
+	case v == nil || v.empty():
+		return RelUnknown
+	case v.ab > 0 && v.ba > 0:
+		// Conflicting votes: links adjacent to the peak are usually
+		// p2p (the single peer link of a valley-free path).
+		if ratio(v.ab, v.ba) < 2 {
+			return RelP2P
+		} else if v.ab > v.ba {
+			rel = RelC2P
+		} else {
+			rel = RelP2C
+		}
+	case v.ab > 0:
+		rel = RelC2P
+	default:
+		rel = RelP2C
+	}
+	da, db := degree[key.A], degree[key.B]
+	if da > 10 && db > 10 && ratio(da, db) < 3 && !aClique && !bClique {
+		return RelP2P
+	}
+	return rel
 }
 
 func ratio(a, b int) int {

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# benchgate.sh BASE.txt HEAD.txt MAX_REGRESSION_PCT BENCH_NAME...
+#
+# Compares raw `go test -bench` outputs (multiple -count samples per
+# benchmark) and fails when any named benchmark's mean ns/op regressed
+# by more than the given percentage. benchstat renders the human-readable
+# diff next to this gate; the gate itself works on the raw samples so a
+# benchstat output-format change can never silently disarm it.
+set -euo pipefail
+
+if [ "$#" -lt 4 ]; then
+    echo "usage: $0 base.txt head.txt max_regression_pct bench_name..." >&2
+    exit 2
+fi
+
+base="$1"
+head="$2"
+maxpct="$3"
+shift 3
+
+# mean_ns FILE BENCH -> mean ns/op over all samples (sub-benchmarks of
+# BENCH, e.g. BenchmarkFoo/case-8, are averaged together).
+mean_ns() {
+    awk -v bench="$2" '
+        $1 ~ "^"bench"(/|-|$)" && $NF == "ns/op" { sum += $(NF-1); n++ }
+        # -benchmem output: "name iters ns/op B/op allocs/op" — ns/op is
+        # the 3rd column; match it by the unit token that follows it.
+        {
+            for (i = 2; i < NF; i++) {
+                if ($1 ~ "^"bench"(/|-|$)" && $(i+1) == "ns/op" && $NF != "ns/op") {
+                    sum += $i; n++
+                }
+            }
+        }
+        END {
+            if (n == 0) { exit 1 }
+            printf "%.2f\n", sum / n
+        }
+    ' "$1"
+}
+
+fail=0
+for bench in "$@"; do
+    b="$(mean_ns "$base" "$bench")" || { echo "FAIL: $bench missing from $base" >&2; fail=1; continue; }
+    h="$(mean_ns "$head" "$bench")" || { echo "FAIL: $bench missing from $head" >&2; fail=1; continue; }
+    delta="$(awk -v b="$b" -v h="$h" 'BEGIN { printf "%.1f", (h - b) / b * 100 }')"
+    over="$(awk -v d="$delta" -v m="$maxpct" 'BEGIN { print (d > m) ? 1 : 0 }')"
+    if [ "$over" = "1" ]; then
+        echo "FAIL: $bench regressed ${delta}% (base ${b} ns/op -> head ${h} ns/op, limit +${maxpct}%)"
+        fail=1
+    else
+        echo "ok:   $bench ${delta}% (base ${b} ns/op -> head ${h} ns/op)"
+    fi
+done
+exit "$fail"
