@@ -12,6 +12,9 @@ import (
 	"bytes"
 	"context"
 	"net/netip"
+	"os"
+	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -598,6 +601,124 @@ func BenchmarkWindowedInference(b *testing.B) {
 			}
 			b.ReportMetric(float64(ccfg.Epochs), "windows/op")
 		})
+	}
+}
+
+func BenchmarkWindowedInferenceShort(b *testing.B) {
+	// The bench-regression variant of BenchmarkWindowedInference: the
+	// same incremental windowed replay at test scale, fast enough to
+	// sample repeatedly in CI.
+	ccfg := churn.DefaultConfig(20130501)
+	ccfg.Epochs = 4
+	ccfg.Interval = time.Minute
+	ct, err := experiments.BuildChurnTrace(topology.TestConfig(), ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ct.Windows(core.WindowsIncremental)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Windows) != ccfg.Epochs {
+			b.Fatalf("ran %d windows, want %d", len(res.Windows), ccfg.Epochs)
+		}
+	}
+}
+
+// horizonEnv reads an integer knob for the long-horizon benchmark.
+func horizonEnv(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func BenchmarkLongHorizonWindows(b *testing.B) {
+	// Long-horizon streaming replay: hours of simulated trace under a
+	// flap-heavy churn schedule, windows consumed through the Stream
+	// callback so no per-window Result is ever materialized. The
+	// benchmark reports mean close time for the first and second half of
+	// the horizon — O(churn) closes mean the two stay comparable as the
+	// replay ages — and asserts a ceiling on live-heap GROWTH between
+	// the first and last window close. Both samples see the pre-built
+	// trace and the fully-populated miner, so the difference isolates
+	// what the replay accumulates: with the dead-shape sweep it stays
+	// near zero on any horizon. Knobs: MLP_HORIZON_SCALE,
+	// MLP_HORIZON_EPOCHS, MLP_HORIZON_HEAP_MB (growth ceiling).
+	cfg := topology.DefaultConfig()
+	cfg.Scenario = "scaled-world"
+	cfg.Scale = float64(horizonEnv("MLP_HORIZON_SCALE", 5))
+	ccfg := churn.DefaultConfig(20130501)
+	ccfg.Epochs = horizonEnv("MLP_HORIZON_EPOCHS", 48)
+	ccfg.Interval = 5 * time.Minute
+	ccfg.PeerFlaps *= 5
+	ccfg.PrefixMoves *= 3
+	heapMB := horizonEnv("MLP_HORIZON_HEAP_MB", 512)
+
+	ct, err := experiments.BuildChurnTrace(cfg, ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var firstHalf, secondHalf float64
+	var msFirst, msLast runtime.MemStats
+	for i := 0; i < b.N; i++ {
+		var closes []time.Duration
+		err := ct.StreamWindows(core.WindowsIncremental, 0, func(pw *core.PassiveWindow) {
+			if pw.Result != nil {
+				b.Fatal("streaming window materialized a Result")
+			}
+			closes = append(closes, pw.CloseTime)
+			// Sample the heap inside the callback, while the miner and
+			// its maintained mesh/observation state are still
+			// reachable: after StreamWindows returns they are garbage
+			// and the samples would only reflect the trace.
+			if len(closes) == 1 {
+				b.StopTimer()
+				runtime.GC()
+				runtime.ReadMemStats(&msFirst)
+				b.StartTimer()
+			}
+			if len(closes) == ccfg.Epochs {
+				b.StopTimer()
+				runtime.GC()
+				runtime.ReadMemStats(&msLast)
+				b.StartTimer()
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(closes) != ccfg.Epochs {
+			b.Fatalf("streamed %d windows, want %d", len(closes), ccfg.Epochs)
+		}
+		mean := func(ds []time.Duration) float64 {
+			var sum time.Duration
+			for _, d := range ds {
+				sum += d
+			}
+			return float64(sum.Milliseconds()) / float64(len(ds))
+		}
+		firstHalf = mean(closes[:len(closes)/2])
+		secondHalf = mean(closes[len(closes)/2:])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ccfg.Epochs), "windows/op")
+	b.ReportMetric(firstHalf, "first-half-close-ms")
+	b.ReportMetric(secondHalf, "second-half-close-ms")
+
+	heap := float64(msLast.HeapAlloc) / (1 << 20)
+	growth := heap - float64(msFirst.HeapAlloc)/(1<<20)
+	b.ReportMetric(heap, "heap-MB")
+	b.ReportMetric(growth, "heap-growth-MB")
+	if growth > float64(heapMB) {
+		b.Fatalf("live heap grew %.0f MB between first and last window close (ceiling %d MB)", growth, heapMB)
 	}
 }
 

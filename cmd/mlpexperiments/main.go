@@ -8,8 +8,10 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -32,6 +34,8 @@ func main() {
 	churnEpochs := flag.Int("churn-epochs", 6, "churn mode: number of mutation epochs / inference windows")
 	churnInterval := flag.Duration("churn-interval", 10*time.Minute, "churn mode: epoch and inference-window duration")
 	windowsMode := flag.String("windows-mode", "incremental", "churn mode: per-window mesh derivation (incremental = delta-maintained observation store, remine = re-mine the live table each window)")
+	churnStream := flag.Bool("churn-stream", false, "churn mode: stream windows instead of retaining them (long-horizon replay; prints per-window close stats and a summary)")
+	churnWindows := flag.Int("churn-windows", 0, "churn mode with -churn-stream: total windows to replay (0 = one per epoch; extras replay over the final live table)")
 	flag.Parse()
 
 	cfg := topology.DefaultConfig()
@@ -49,6 +53,10 @@ func main() {
 		ccfg.Epochs = *churnEpochs
 		ccfg.Interval = *churnInterval
 		start := time.Now()
+		if *churnStream {
+			runChurnStream(cfg, ccfg, mode, *churnWindows, start)
+			return
+		}
 		res, err := experiments.RunChurn(cfg, ccfg, mode)
 		if err != nil {
 			log.Fatal(err)
@@ -71,4 +79,57 @@ func main() {
 	if err := ctx.RunAll(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runChurnStream replays the churn trace in streaming mode: windows are
+// handed back one at a time and never retained, so the horizon can run
+// far past the mutation epochs at flat memory. Per-window close stats go
+// to stdout; a summary of first/second-half close times and the post-GC
+// heap follows.
+func runChurnStream(cfg topology.Config, ccfg churn.Config, mode core.WindowsMode, windows int, start time.Time) {
+	ct, err := experiments.BuildChurnTrace(cfg, ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("churn trace ready in %v (scenario %s, %d epochs @ %v)",
+		time.Since(start).Round(time.Millisecond), ct.Scenario, ct.Epochs, ct.Interval)
+
+	total := windows
+	if total <= 0 {
+		total = ct.Epochs
+	}
+	var closes []time.Duration
+	var ms runtime.MemStats
+	err = ct.StreamWindows(mode, windows, func(w *core.PassiveWindow) {
+		closes = append(closes, w.CloseTime)
+		fmt.Fprintf(os.Stdout, "window %3d: live %6d rels %5d p2p %5d mesh %4d stability %.3f close %v\n",
+			len(closes)-1, w.LiveRoutes, w.RelLinks, w.P2PRels, w.MeshLinks, w.Stability,
+			w.CloseTime.Round(time.Microsecond))
+		if len(closes) == total {
+			// Sample while the mining state is still live; after the
+			// replay returns it is garbage and the number would only
+			// reflect the trace.
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	half := len(closes) / 2
+	mean := func(ds []time.Duration) time.Duration {
+		if len(ds) == 0 {
+			return 0
+		}
+		var sum time.Duration
+		for _, d := range ds {
+			sum += d
+		}
+		return sum / time.Duration(len(ds))
+	}
+	log.Printf("streamed %d windows (%s mode): mean close %v (first half %v, second half %v), live heap %.1f MB",
+		len(closes), mode, mean(closes).Round(time.Microsecond),
+		mean(closes[:half]).Round(time.Microsecond), mean(closes[half:]).Round(time.Microsecond),
+		float64(ms.HeapAlloc)/(1<<20))
 }

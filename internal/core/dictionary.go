@@ -102,6 +102,32 @@ func (e *IXPEntry) SetMembers(members []bgp.ASN, src ConnectivitySource) {
 type Dictionary struct {
 	Entries []*IXPEntry
 	byName  map[string]*IXPEntry
+	// byHigh indexes entries by the community high halves their scheme
+	// interprets (ALL, NONE, INCLUDE, EXCLUDE), so IdentifyIXP scans
+	// only the candidate entries a community set can be relevant to
+	// instead of every scheme in the dictionary. Entry order follows
+	// Entries, and an entry appears at most once per high half.
+	byHigh map[bgp.ASN][]*IXPEntry
+}
+
+// indexSchemes builds byHigh from the entries' schemes.
+func (d *Dictionary) indexSchemes() {
+	d.byHigh = make(map[bgp.ASN][]*IXPEntry)
+	add := func(e *IXPEntry, high bgp.ASN) {
+		for _, x := range d.byHigh[high] {
+			if x == e {
+				return
+			}
+		}
+		d.byHigh[high] = append(d.byHigh[high], e)
+	}
+	for _, e := range d.Entries {
+		s := &e.Scheme
+		add(e, s.All.High())
+		add(e, s.None.High())
+		add(e, s.IncludeHigh)
+		add(e, s.ExcludeHigh)
+	}
 }
 
 // WebsiteData is the per-IXP information available from its public
@@ -141,6 +167,7 @@ func BuildDictionary(sites []WebsiteData, registry *irr.Registry) (*Dictionary, 
 		d.Entries = append(d.Entries, e)
 		d.byName[site.Name] = e
 	}
+	d.indexSchemes()
 	return d, nil
 }
 
@@ -154,17 +181,51 @@ func (d *Dictionary) ByName(name string) *IXPEntry { return d.byName[name] }
 // peer ASes must all be members of the candidate IXP, and only one IXP
 // may qualify.
 func (d *Dictionary) IdentifyIXP(cs bgp.Communities) (*IXPEntry, bool) {
-	var strong, weak []*IXPEntry
-	for _, e := range d.Entries {
-		rel := e.Scheme.RelevantCommunities(cs)
-		if len(rel) == 0 {
-			continue
+	// Candidate entries: only schemes interpreting at least one of the
+	// set's high halves can have a non-empty relevant subset; everything
+	// else would be skipped by the per-entry scan anyway. The buffers
+	// stay on the stack for the common (few candidates) case.
+	var cbuf [48]*IXPEntry
+	cands := cbuf[:0]
+	for _, c := range cs {
+		for _, e := range d.byHigh[c.High()] {
+			dup := false
+			for _, x := range cands {
+				if x == e {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				cands = append(cands, e)
+			}
 		}
+	}
+
+	var sbuf, wbuf [4]*IXPEntry
+	strong, weak := sbuf[:0], wbuf[:0]
+	for _, e := range cands {
+		// Single pass over cs, classifying inline: identification,
+		// reference count and membership verdict come from the same
+		// walk the old RelevantCommunities allocation fed.
 		identified := false
-		for _, c := range rel {
+		allMembers := true
+		refs := 0
+		for _, c := range cs {
+			act, peer := e.Scheme.Classify(c)
+			if act == ixp.ActionNone {
+				continue
+			}
 			if e.Scheme.Identifiable(c) {
 				identified = true
 				break
+			}
+			if act != ixp.ActionExclude && act != ixp.ActionInclude {
+				continue
+			}
+			refs++
+			if allMembers && !e.members[peer] {
+				allMembers = false
 			}
 		}
 		if identified {
@@ -172,19 +233,6 @@ func (d *Dictionary) IdentifyIXP(cs bgp.Communities) (*IXPEntry, bool) {
 			continue
 		}
 		// Weak candidate: every referenced peer must be a member.
-		allMembers := true
-		refs := 0
-		for _, c := range rel {
-			act, peer := e.Scheme.Classify(c)
-			if act != ixp.ActionExclude && act != ixp.ActionInclude {
-				continue
-			}
-			refs++
-			if !e.members[peer] {
-				allMembers = false
-				break
-			}
-		}
 		if refs > 0 && allMembers {
 			weak = append(weak, e)
 		}

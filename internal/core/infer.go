@@ -20,17 +20,23 @@ type IXPInference struct {
 	Sources map[bgp.ASN]DataSource
 	// Links are the inferred multilateral peering links at this IXP.
 	Links map[topology.LinkKey]bool
+
+	covered []bgp.ASN // CoveredMembers cache, built on first call
 }
 
 // CoveredMembers returns the members with reconstructed filters,
-// ascending.
+// ascending. The sorted slice is computed once and cached (Filters is
+// complete by the time anyone asks); callers must not modify it.
 func (x *IXPInference) CoveredMembers() []bgp.ASN {
-	out := make([]bgp.ASN, 0, len(x.Filters))
-	for m := range x.Filters {
-		out = append(out, m)
+	if x.covered == nil {
+		out := make([]bgp.ASN, 0, len(x.Filters))
+		for m := range x.Filters {
+			out = append(out, m)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		x.covered = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return x.covered
 }
 
 // PassiveCount and ActiveCount split coverage by source; members seen

@@ -1,0 +1,411 @@
+// Delta-maintained reciprocity mesh: the incremental counterpart of
+// InferLinks. A window close used to rebuild every covered setter's
+// export filter and re-run the O(covered²) reciprocity check per IXP;
+// MeshState instead keeps the covered setter set, each setter's
+// reconstructed filter, its allow bitset over co-member slots and the
+// live link set — and re-derives exactly the (IXP, setter) pairs whose
+// refcounted observation counts changed since the last window close.
+// A dirtied setter re-votes its filter (O(distinct community sets) via
+// the store's maintained tally) and re-checks reciprocity only against
+// co-members whose allow relation could have flipped: the peer-set
+// symmetric difference of the old and new filter, except on a filter
+// mode flip, where every covered co-member is rechecked. Link
+// attribution, the multi-IXP overlap and the Jaccard stability
+// numerator/denominator are maintained as running counters, so a
+// window close costs O(churn), not O(world).
+package core
+
+import (
+	"math/bits"
+	"slices"
+	"sort"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/ixp"
+	"mlpeering/internal/topology"
+)
+
+// meshBits is a dense grow-on-write bitset over a mesh IXP's setter
+// slots. test/clear beyond the allocated words answer false / no-op,
+// so bitsets extend lazily as later setters join.
+type meshBits []uint64
+
+func (b *meshBits) grow(n int) {
+	for len(*b)*64 < n {
+		*b = append(*b, 0)
+	}
+}
+
+func (b meshBits) test(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (b *meshBits) set(i int) {
+	b.grow(i + 1)
+	(*b)[i>>6] |= 1 << (uint(i) & 63)
+}
+
+func (b *meshBits) clear(i int) {
+	if w := i >> 6; w < len(*b) {
+		(*b)[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+func (b *meshBits) setTo(i int, v bool) {
+	if v {
+		b.set(i)
+	} else {
+		b.clear(i)
+	}
+}
+
+func (b meshBits) forEach(fn func(i int)) {
+	for w, word := range b {
+		for word != 0 {
+			i := bits.TrailingZeros64(word)
+			word &= word - 1
+			fn(w*64 + i)
+		}
+	}
+}
+
+func (b meshBits) zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// meshSetter is one RS member's maintained mesh state at one IXP.
+type meshSetter struct {
+	asn     bgp.ASN
+	covered bool
+	filter  ixp.ExportFilter
+	// allow bit j: filter.Allows(slot j's ASN). Authoritative for
+	// covered slots; bits of uncovered slots may be stale and are
+	// recomputed when that slot rejoins.
+	allow meshBits
+	// links bit j: live reciprocity link with covered slot j.
+	links meshBits
+}
+
+// meshIXP is one IXP's maintained mesh: slot-indexed setters (slots are
+// assigned on first coverage and never freed — bounded by the members
+// ever covered, not by trace length) and the live per-IXP link set.
+type meshIXP struct {
+	entry   *IXPEntry
+	members []bgp.ASN // entry.Members(), cached once per run
+	slotOf  map[bgp.ASN]int
+	setters []*meshSetter
+	covered int
+	links   map[topology.LinkKey]bool
+}
+
+// MeshState is the delta-maintained §4.1 reciprocity mesh over every
+// IXP of a dictionary. Apply consumes the dirty (IXP, setter) set a
+// DeltaObservations tracked since the last window close and updates
+// filters, allow bitsets, links and the running counters; Snapshot
+// materializes the equivalent of InferLinks over the same store. Not
+// safe for concurrent use.
+type MeshState struct {
+	dict   *Dictionary
+	byName map[string]*meshIXP
+
+	// links maps every live link to its sorted IXP attribution list;
+	// multi counts the links attributed to more than one IXP.
+	links map[topology.LinkKey][]string
+	multi int
+
+	// Jaccard stability counters: prevLinks is the mesh size at the
+	// last CloseStability; changed records, for every link touched
+	// since, whether it was present then (first touch wins, so flaps
+	// that cancel out contribute nothing).
+	prevLinks int
+	changed   map[topology.LinkKey]bool
+
+	dirty     []DirtySetter
+	dirtySeen map[DirtySetter]struct{}
+}
+
+// NewMeshState returns an empty mesh over the dictionary's IXPs.
+func NewMeshState(dict *Dictionary) *MeshState {
+	ms := &MeshState{
+		dict:      dict,
+		byName:    make(map[string]*meshIXP, len(dict.Entries)),
+		links:     make(map[topology.LinkKey][]string),
+		changed:   make(map[topology.LinkKey]bool),
+		dirtySeen: make(map[DirtySetter]struct{}),
+	}
+	for _, e := range dict.Entries {
+		ms.byName[e.Name] = &meshIXP{
+			entry:   e,
+			members: e.Members(),
+			slotOf:  make(map[bgp.ASN]int),
+			links:   make(map[topology.LinkKey]bool),
+		}
+	}
+	return ms
+}
+
+// TotalLinks returns the number of distinct live links.
+func (ms *MeshState) TotalLinks() int { return len(ms.links) }
+
+// MultiIXPLinks returns how many live links are inferred at more than
+// one IXP.
+func (ms *MeshState) MultiIXPLinks() int { return ms.multi }
+
+// Apply drains the store's dirty setters and re-derives exactly their
+// coverage, filter and reciprocity links. Everything else is untouched:
+// the cost is O(churned setters × their flipped allow relations).
+func (ms *MeshState) Apply(obs *DeltaObservations) {
+	ms.dirty = obs.DrainDirty(ms.dirty[:0])
+	for _, d := range ms.dirty {
+		if _, dup := ms.dirtySeen[d]; dup {
+			continue
+		}
+		ms.dirtySeen[d] = struct{}{}
+		ms.updateSetter(obs, d)
+	}
+	clear(ms.dirtySeen)
+}
+
+// updateSetter re-derives one (IXP, setter): departed, joined, or
+// re-filtered. The outcome is order-independent across the dirty set:
+// a pair of dirty setters is rechecked by whichever side is processed
+// last with both filters final.
+func (ms *MeshState) updateSetter(obs *DeltaObservations, d DirtySetter) {
+	mi := ms.byName[d.IXP]
+	if mi == nil || !mi.entry.IsMember(d.Setter) {
+		return // a stray observation outside known connectivity
+	}
+	f, ok := obs.Filter(d.IXP, d.Setter, mi.entry.Scheme)
+	slot, haveSlot := mi.slotOf[d.Setter]
+	var s *meshSetter
+	if haveSlot {
+		s = mi.setters[slot]
+	}
+	switch {
+	case !ok:
+		if s == nil || !s.covered {
+			return
+		}
+		ms.dropSetter(mi, slot, s)
+	case s == nil || !s.covered:
+		if s == nil {
+			slot = len(mi.setters)
+			s = &meshSetter{asn: d.Setter}
+			mi.setters = append(mi.setters, s)
+			mi.slotOf[d.Setter] = slot
+		}
+		ms.joinSetter(mi, slot, s, f)
+	default:
+		ms.refilterSetter(mi, slot, s, f)
+	}
+}
+
+// dropSetter removes a setter that lost coverage: every live link of
+// its slot goes away.
+func (ms *MeshState) dropSetter(mi *meshIXP, slot int, s *meshSetter) {
+	s.links.forEach(func(j int) {
+		o := mi.setters[j]
+		o.links.clear(slot)
+		ms.removeLink(mi, s.asn, o.asn)
+	})
+	s.links.zero()
+	s.covered = false
+	s.filter = ixp.ExportFilter{}
+	mi.covered--
+}
+
+// joinSetter covers a setter (fresh or rejoining): both allow
+// directions against every covered co-member are recomputed — the
+// co-members' bits for this slot may be stale from filter changes while
+// the slot was uncovered.
+func (ms *MeshState) joinSetter(mi *meshIXP, slot int, s *meshSetter, f ixp.ExportFilter) {
+	s.covered = true
+	s.filter = f
+	s.allow.grow(len(mi.setters))
+	s.allow.zero()
+	s.links.grow(len(mi.setters))
+	s.links.zero()
+	for j, o := range mi.setters {
+		if j == slot || !o.covered {
+			continue
+		}
+		oa := o.filter.Allows(s.asn)
+		o.allow.setTo(slot, oa)
+		sa := f.Allows(o.asn)
+		s.allow.setTo(j, sa)
+		if oa && sa {
+			s.links.set(j)
+			o.links.set(slot)
+			ms.addLink(mi, s.asn, o.asn)
+		}
+	}
+	mi.covered++
+}
+
+// refilterSetter swaps in a changed filter. With an unchanged mode the
+// allow relation flips exactly on the peer-set symmetric difference, so
+// only those co-members are rechecked; a mode flip falls back to
+// rechecking every covered co-member.
+func (ms *MeshState) refilterSetter(mi *meshIXP, slot int, s *meshSetter, f ixp.ExportFilter) {
+	old := s.filter
+	if old.Equal(f) {
+		s.filter = f
+		return
+	}
+	s.filter = f
+	if old.Mode != f.Mode {
+		for j, o := range mi.setters {
+			if j != slot && o.covered {
+				ms.recheckPair(mi, slot, s, j, o)
+			}
+		}
+		return
+	}
+	for p := range old.Peers {
+		if !f.Peers[p] {
+			ms.recheckPeer(mi, slot, s, p)
+		}
+	}
+	for p := range f.Peers {
+		if !old.Peers[p] {
+			ms.recheckPeer(mi, slot, s, p)
+		}
+	}
+}
+
+// recheckPeer rechecks the (setter, peer) allow relation if the peer is
+// a currently covered co-member.
+func (ms *MeshState) recheckPeer(mi *meshIXP, slot int, s *meshSetter, peer bgp.ASN) {
+	j, ok := mi.slotOf[peer]
+	if !ok || j == slot {
+		return
+	}
+	if o := mi.setters[j]; o.covered {
+		ms.recheckPair(mi, slot, s, j, o)
+	}
+}
+
+// recheckPair recomputes s's allow bit toward o and transitions the
+// reciprocity link if it flipped.
+func (ms *MeshState) recheckPair(mi *meshIXP, slot int, s *meshSetter, j int, o *meshSetter) {
+	sa := s.filter.Allows(o.asn)
+	s.allow.setTo(j, sa)
+	linked := sa && o.allow.test(slot)
+	if linked == s.links.test(j) {
+		return
+	}
+	if linked {
+		s.links.set(j)
+		o.links.set(slot)
+		ms.addLink(mi, s.asn, o.asn)
+	} else {
+		s.links.clear(j)
+		o.links.clear(slot)
+		ms.removeLink(mi, s.asn, o.asn)
+	}
+}
+
+// addLink attributes a live link to mi's IXP, maintaining the sorted
+// attribution list, the multi-IXP counter and the stability deltas.
+func (ms *MeshState) addLink(mi *meshIXP, a, b bgp.ASN) {
+	key := topology.MakeLinkKey(a, b)
+	mi.links[key] = true
+	names := ms.links[key]
+	if len(names) == 0 {
+		if _, seen := ms.changed[key]; !seen {
+			ms.changed[key] = false // absent at the last close
+		}
+	}
+	i := sort.SearchStrings(names, mi.entry.Name)
+	names = slices.Insert(names, i, mi.entry.Name)
+	ms.links[key] = names
+	if len(names) == 2 {
+		ms.multi++
+	}
+}
+
+// removeLink withdraws mi's attribution of a link, dropping the link
+// entirely when no IXP attributes it anymore.
+func (ms *MeshState) removeLink(mi *meshIXP, a, b bgp.ASN) {
+	key := topology.MakeLinkKey(a, b)
+	delete(mi.links, key)
+	names := ms.links[key]
+	i := sort.SearchStrings(names, mi.entry.Name)
+	names = slices.Delete(names, i, i+1)
+	switch len(names) {
+	case 0:
+		delete(ms.links, key)
+		if _, seen := ms.changed[key]; !seen {
+			ms.changed[key] = true // present at the last close
+		}
+	case 1:
+		ms.multi--
+		ms.links[key] = names
+	default:
+		ms.links[key] = names
+	}
+}
+
+// CloseStability finalizes one window: it returns the Jaccard
+// similarity between the mesh at the previous close and now, derived
+// from the running change counters instead of re-walking both link
+// sets, and resets the counters for the next window.
+func (ms *MeshState) CloseStability() float64 {
+	added, removed := 0, 0
+	for key, was := range ms.changed {
+		_, is := ms.links[key]
+		switch {
+		case was && !is:
+			removed++
+		case !was && is:
+			added++
+		}
+	}
+	clear(ms.changed)
+	inter := ms.prevLinks - removed
+	union := ms.prevLinks + added
+	ms.prevLinks = len(ms.links)
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Snapshot materializes the maintained mesh as a Result equivalent to
+// InferLinks over the same observation store: cloned link/attribution
+// maps, per-IXP filters and sources. The Members slices alias the
+// mesh's cached member lists; like every Result, snapshots are
+// read-only views.
+func (ms *MeshState) Snapshot() *Result {
+	res := &Result{
+		PerIXP: make(map[string]*IXPInference, len(ms.dict.Entries)),
+		Links:  make(map[topology.LinkKey][]string, len(ms.links)),
+	}
+	for k, names := range ms.links {
+		res.Links[k] = slices.Clone(names)
+	}
+	for _, e := range ms.dict.Entries {
+		mi := ms.byName[e.Name]
+		x := &IXPInference{
+			Name:    e.Name,
+			Members: mi.members,
+			Filters: make(map[bgp.ASN]ixp.ExportFilter, mi.covered),
+			Sources: make(map[bgp.ASN]DataSource, mi.covered),
+			Links:   make(map[topology.LinkKey]bool, len(mi.links)),
+		}
+		for k := range mi.links {
+			x.Links[k] = true
+		}
+		for _, s := range mi.setters {
+			if s.covered {
+				x.Filters[s.asn] = s.filter
+				x.Sources[s.asn] = ObsPassive
+			}
+		}
+		res.PerIXP[e.Name] = x
+	}
+	return res
+}

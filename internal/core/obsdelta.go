@@ -54,9 +54,16 @@ func (p *prefixDelta) winner() (string, bgp.Communities, bool) {
 }
 
 // setterDelta aggregates one covered setter's per-prefix observations.
+// votes/repr maintain the majority-vote tally incrementally: votes[k]
+// counts the prefixes whose winning community set has canonical key k,
+// adjusted whenever a prefix's winner transitions, so Filter costs
+// O(distinct sets) instead of O(prefixes).
 type setterDelta struct {
 	prefixes map[bgp.Prefix]*prefixDelta
 	active   int // prefixes with a positive total
+	votes    map[string]int
+	repr     map[string]bgp.Communities
+	dirty    bool // queued in the store's dirty list since the last drain
 }
 
 // ixpDelta is one IXP's setter table.
@@ -64,17 +71,49 @@ type ixpDelta struct {
 	setters map[bgp.ASN]*setterDelta
 }
 
+// DirtySetter names one (IXP, setter) whose observation counts changed
+// since the last DrainDirty: the exact invalidation unit of the
+// delta-maintained reciprocity mesh.
+type DirtySetter struct {
+	IXP    string
+	Setter bgp.ASN
+}
+
 // DeltaObservations is a reference-counted observation store: the
 // C_{a,p} of §4.1 step 3 maintained under announce (+1) and withdraw
 // (-1) deltas. It implements ObservationSource, so InferLinks derives
-// the per-window mesh from it directly.
+// the per-window mesh from it directly; with dirty tracking enabled it
+// additionally records which (IXP, setter) pairs changed, so MeshState
+// re-derives only those at window close.
 type DeltaObservations struct {
-	byIXP map[string]*ixpDelta
+	byIXP      map[string]*ixpDelta
+	trackDirty bool
+	dirtyList  []DirtySetter
 }
 
 // NewDeltaObservations returns an empty store.
 func NewDeltaObservations() *DeltaObservations {
 	return &DeltaObservations{byIXP: make(map[string]*ixpDelta)}
+}
+
+// TrackDirty turns on dirty-setter tracking (used by the incremental
+// mesh; the remine fallback skips the bookkeeping).
+func (o *DeltaObservations) TrackDirty() { o.trackDirty = true }
+
+// DrainDirty appends the setters dirtied since the last drain to dst
+// and resets the tracking. A setter pruned and re-created between
+// drains may appear twice; consumers must dedup.
+func (o *DeltaObservations) DrainDirty(dst []DirtySetter) []DirtySetter {
+	dst = append(dst, o.dirtyList...)
+	for _, d := range o.dirtyList {
+		if x := o.byIXP[d.IXP]; x != nil {
+			if s := x.setters[d.Setter]; s != nil {
+				s.dirty = false
+			}
+		}
+	}
+	o.dirtyList = o.dirtyList[:0]
+	return dst
 }
 
 // add applies one counted observation delta.
@@ -86,14 +125,23 @@ func (o *DeltaObservations) add(ixpName string, setter bgp.ASN, prefix bgp.Prefi
 	}
 	s := x.setters[setter]
 	if s == nil {
-		s = &setterDelta{prefixes: make(map[bgp.Prefix]*prefixDelta)}
+		s = &setterDelta{
+			prefixes: make(map[bgp.Prefix]*prefixDelta),
+			votes:    make(map[string]int),
+			repr:     make(map[string]bgp.Communities),
+		}
 		x.setters[setter] = s
+	}
+	if o.trackDirty && !s.dirty {
+		s.dirty = true
+		o.dirtyList = append(o.dirtyList, DirtySetter{IXP: ixpName, Setter: setter})
 	}
 	p := s.prefixes[prefix]
 	if p == nil {
 		p = &prefixDelta{}
 		s.prefixes[prefix] = p
 	}
+	oldKey, _, oldLive := p.winner()
 	found := false
 	for i := range p.sets {
 		if p.sets[i].key == key {
@@ -106,6 +154,18 @@ func (o *DeltaObservations) add(ixpName string, setter bgp.ASN, prefix bgp.Prefi
 	}
 	if !found {
 		p.sets = append(p.sets, obsSet{key: key, cs: cs, n: delta})
+	}
+	if newKey, newCS, newLive := p.winner(); oldLive != newLive || oldKey != newKey {
+		if oldLive {
+			if s.votes[oldKey]--; s.votes[oldKey] == 0 {
+				delete(s.votes, oldKey)
+				delete(s.repr, oldKey)
+			}
+		}
+		if newLive {
+			s.votes[newKey]++
+			s.repr[newKey] = newCS
+		}
 	}
 	wasLive := p.total > 0
 	p.total += delta
@@ -146,7 +206,9 @@ func (o *DeltaObservations) Setters(ixpName string) []bgp.ASN {
 // Filter reconstructs the setter's export filter by majority vote over
 // its per-prefix community sets, exactly like Observations.Filter: each
 // live prefix votes its canonical community set, the most voted (ties
-// to the smallest key) wins.
+// to the smallest key) wins. The tally is maintained incrementally by
+// add, so the vote scan is over the distinct community sets (almost
+// always one), not the setter's prefixes.
 func (o *DeltaObservations) Filter(ixpName string, setter bgp.ASN, scheme ixp.Scheme) (ixp.ExportFilter, bool) {
 	x := o.byIXP[ixpName]
 	if x == nil {
@@ -156,23 +218,13 @@ func (o *DeltaObservations) Filter(ixpName string, setter bgp.ASN, scheme ixp.Sc
 	if s == nil || s.active == 0 {
 		return ixp.ExportFilter{}, false
 	}
-	votes := make(map[string]int)
-	repr := make(map[string]bgp.Communities)
-	for _, p := range s.prefixes {
-		key, cs, ok := p.winner()
-		if !ok {
-			continue
-		}
-		votes[key]++
-		repr[key] = cs
-	}
 	bestKey, bestVotes := "", -1
-	for k, v := range votes {
+	for k, v := range s.votes {
 		if v > bestVotes || (v == bestVotes && k < bestKey) {
 			bestKey, bestVotes = k, v
 		}
 	}
-	return ixp.FilterFromCommunities(repr[bestKey], scheme), true
+	return ixp.FilterFromCommunities(s.repr[bestKey], scheme), true
 }
 
 // Source reports passive coverage: the windowed pipeline only ever
@@ -186,12 +238,6 @@ func (o *DeltaObservations) Source(ixpName string, setter bgp.ASN) DataSource {
 	return 0
 }
 
-// groupKey identifies one distinct route shape.
-type groupKey struct {
-	path  paths.ID
-	comms string
-}
-
 // windowGroup is the derived state of one distinct (path, communities)
 // route shape. Everything but the relationship-dependent setter is
 // fixed at creation; refs and byPrefix track the live routes currently
@@ -199,6 +245,7 @@ type groupKey struct {
 type windowGroup struct {
 	path  paths.ID
 	comms bgp.Communities
+	ckey  string // canonical comms encoding: its slot under groups[path]
 
 	bogon, cycle, empty bool
 	entry               *IXPEntry // nil: no unique IXP attribution
@@ -209,8 +256,10 @@ type windowGroup struct {
 	resolved            bool
 	setter              bgp.ASN
 
-	refs     int
-	byPrefix map[bgp.Prefix]int
+	refs      int
+	deadEpoch int  // window epoch at which refs last hit zero
+	queued    bool // currently in windowMiner.deadQueue
+	byPrefix  map[bgp.Prefix]int
 }
 
 // mineable reports whether the shape can contribute observations at
@@ -227,45 +276,100 @@ func (g *windowGroup) keptPath() bool { return !g.bogon && !g.cycle && !g.empty 
 // run: the route groups, the refcounted observation store, the live
 // distinct-path counts feeding the relation oracle, and the hygiene
 // drop tallies over the current live table.
+// deadShapeGrace is how many window closes a (path, comms) shape stays
+// in the lookup map after its last live route withdrew. Shapes that
+// flap back inside the grace period keep their derived state (hygiene
+// flags, IXP attribution, relevant-community key); shapes dead longer
+// are compacted away so the map tracks the recently-live shape set, not
+// the trace's all-time one.
+const deadShapeGrace = 2
+
+// deadShape is one sweep-queue entry: the shape and the epoch whose
+// close enqueued it.
+type deadShape struct {
+	g     *windowGroup
+	epoch int
+}
+
+// identShape is the memoized IXP attribution of one comms shape: the
+// entry (nil when no unique attribution) and the scheme-relevant subset
+// with its canonical key. relComms is shared read-only across every
+// group carrying the shape.
+type identShape struct {
+	entry    *IXPEntry
+	relComms bgp.Communities
+	relKey   string
+}
+
 type windowMiner struct {
 	dict  *Dictionary
 	store *paths.Store
 
-	groups   map[groupKey]*windowGroup
+	// groups is keyed (path, canonical comms encoding); the two-level
+	// shape lets callers probe with a scratch []byte key (string(b) map
+	// access compiles allocation-free) before cloning anything.
+	groups   map[paths.ID]map[string]*windowGroup
 	relsDeps []*windowGroup // groups whose setter depends on the oracle
 
-	obs      *DeltaObservations
-	rel      *relation.Incremental // nil in remine mode
+	// ident memoizes IXP attribution per comms shape. Attribution (and
+	// the derived relevant-community subset/key) depends only on the
+	// community set and the static dictionary snapshot, while groups are
+	// keyed per (path, comms) — many paths carry the same comms shape, so
+	// the memo turns the dominant IdentifyIXP cost of group creation into
+	// a map hit. Entries are never swept: the map is bounded by distinct
+	// comms shapes seen, far fewer than shapes × paths.
+	ident map[string]identShape
+
+	obs  *DeltaObservations
+	rel  *relation.Incremental // nil in remine mode
+	mesh *MeshState            // nil in remine mode
+
 	pathLive map[paths.ID]int
+
+	epoch     int // window closes so far
+	deadQueue []deadShape
 
 	dropBogon, dropCycle int
 }
 
 // newWindowMiner returns an empty miner. rel may be nil, in which case
-// the caller owns relation maintenance and setter resolution (the
-// remine fallback).
+// the caller owns relation maintenance, setter resolution and mesh
+// derivation (the remine fallback); otherwise the miner maintains the
+// reciprocity mesh incrementally through a MeshState fed by the
+// observation store's dirty-setter tracking.
 func newWindowMiner(dict *Dictionary, store *paths.Store, rel *relation.Incremental) *windowMiner {
-	return &windowMiner{
+	m := &windowMiner{
 		dict:     dict,
 		store:    store,
-		groups:   make(map[groupKey]*windowGroup),
+		groups:   make(map[paths.ID]map[string]*windowGroup),
+		ident:    make(map[string]identShape),
 		obs:      NewDeltaObservations(),
 		rel:      rel,
 		pathLive: make(map[paths.ID]int),
 	}
+	if rel != nil {
+		m.obs.TrackDirty()
+		m.mesh = NewMeshState(dict)
+	}
+	return m
 }
 
-// commsKey canonically encodes a community set as announced (order
-// preserved: it keys the route shape, not the semantic set).
+// appendCommsKey appends the canonical encoding of a community set as
+// announced (order preserved: it keys the route shape, not the semantic
+// set) to b, for allocation-free probing of the shape map.
+func appendCommsKey(b []byte, cs bgp.Communities) []byte {
+	for _, c := range cs {
+		b = append(b, byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+	}
+	return b
+}
+
+// commsKey materializes the canonical encoding as a string.
 func commsKey(cs bgp.Communities) string {
 	if len(cs) == 0 {
 		return ""
 	}
-	b := make([]byte, 0, 4*len(cs))
-	for _, c := range cs {
-		b = append(b, byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
-	}
-	return string(b)
+	return string(appendCommsKey(make([]byte, 0, 4*len(cs)), cs))
 }
 
 // group returns (creating on first sight) the derived group of a route
@@ -273,24 +377,37 @@ func commsKey(cs bgp.Communities) string {
 // pinpointing is relationship-independent, or against the current
 // oracle otherwise (stale answers are corrected at window close).
 func (m *windowMiner) group(path paths.ID, comms bgp.Communities, ckey string) *windowGroup {
-	k := groupKey{path: path, comms: ckey}
-	if g, ok := m.groups[k]; ok {
+	inner := m.groups[path]
+	if inner == nil {
+		inner = make(map[string]*windowGroup, 1)
+		m.groups[path] = inner
+	}
+	if g, ok := inner[ckey]; ok {
 		return g
 	}
-	g := &windowGroup{path: path, comms: comms, byPrefix: make(map[bgp.Prefix]int)}
+	g := &windowGroup{path: path, comms: comms, ckey: ckey, byPrefix: make(map[bgp.Prefix]int)}
 	p := m.store.Path(path)
 	g.empty = len(p) == 0
 	g.bogon = hasBogon(p)
 	g.cycle = hasCycle(p)
 	if len(comms) > 0 {
-		if entry, ok := m.dict.IdentifyIXP(comms); ok {
-			g.entry = entry
-			g.relComms = entry.Scheme.RelevantCommunities(comms)
-			g.relKey = g.relComms.Dedup().String()
+		id, seen := m.ident[ckey]
+		if !seen {
+			if entry, ok := m.dict.IdentifyIXP(comms); ok {
+				id.entry = entry
+				id.relComms = entry.Scheme.RelevantCommunities(comms)
+				id.relKey = id.relComms.Dedup().String()
+			}
+			m.ident[ckey] = id
+		}
+		if id.entry != nil {
+			g.entry = id.entry
+			g.relComms = id.relComms
+			g.relKey = id.relKey
 			if g.mineable() {
 				positions := 0
 				for _, a := range p {
-					if entry.IsMember(a) {
+					if id.entry.IsMember(a) {
 						positions++
 					}
 				}
@@ -309,8 +426,18 @@ func (m *windowMiner) group(path paths.ID, comms bgp.Communities, ckey string) *
 			g.setter, g.resolved = PinpointSetter(p, g.entry, nil)
 		}
 	}
-	m.groups[k] = g
+	inner[ckey] = g
 	return g
+}
+
+// shapeCount reports the number of live shape entries in the lookup map
+// (test hook for the dead-shape sweep).
+func (m *windowMiner) shapeCount() int {
+	n := 0
+	for _, inner := range m.groups {
+		n += len(inner)
+	}
+	return n
 }
 
 // apply registers one live-route delta (+1 announce, -1 withdraw) for
@@ -325,6 +452,13 @@ func (m *windowMiner) apply(g *windowGroup, prefix bgp.Prefix, delta int) {
 	if wasDead && g.refs > 0 && g.relsDep && !g.registered {
 		g.registered = true
 		m.relsDeps = append(m.relsDeps, g)
+	}
+	if !wasDead && g.refs == 0 {
+		g.deadEpoch = m.epoch
+		if !g.queued {
+			g.queued = true
+			m.deadQueue = append(m.deadQueue, deadShape{g: g, epoch: m.epoch})
+		}
 	}
 	if n := g.byPrefix[prefix] + delta; n == 0 {
 		delete(g.byPrefix, prefix)
@@ -379,9 +513,12 @@ func (m *windowMiner) moveContributions(g *windowGroup, resolved bool, setter bg
 
 // closeWindow derives one window's inference outcome from the
 // maintained state: commit the relation oracle, re-pinpoint the
-// relationship-dependent groups against it, and run the reciprocity
-// mesh inference over the refcounted store.
-func (m *windowMiner) closeWindow(w *PassiveWindow) {
+// relationship-dependent groups against it, apply the dirtied setters
+// to the maintained reciprocity mesh, and read the window's counters
+// off the maintained state. When retain is false (streaming replay) the
+// mesh is not snapshotted, so the close allocates O(churn), not
+// O(mesh).
+func (m *windowMiner) closeWindow(w *PassiveWindow, retain bool) {
 	m.rel.Commit()
 	// Re-pinpoint the live rels-dependent shapes, compacting dead ones
 	// out of the list so per-window cost tracks the live shape set, not
@@ -404,8 +541,51 @@ func (m *windowMiner) closeWindow(w *PassiveWindow) {
 	w.Dropped.Bogon = m.dropBogon
 	w.Dropped.Cycle = m.dropCycle
 	w.RelLinks = m.rel.LinkCount()
-	w.P2PRels = countP2P(m.rel)
-	w.Result = InferLinks(m.dict, m.obs)
+	w.P2PRels = m.rel.P2PCount()
+	m.mesh.Apply(m.obs)
+	w.MeshLinks = m.mesh.TotalLinks()
+	w.Stability = m.mesh.CloseStability()
+	if retain {
+		w.Result = m.mesh.Snapshot()
+	}
+	m.epoch++
+	m.sweepDeadShapes()
+}
+
+// sweepDeadShapes compacts shapes whose refcount has been zero for at
+// least deadShapeGrace window closes out of the lookup map. The queue
+// is in enqueue order; a shape that died again more recently than the
+// entry that carried it here is re-queued at its newest death epoch, so
+// the grace period restarts on every flap. Requeued entries can land
+// behind slightly newer ones, which only ever lengthens a shape's stay
+// — the grace period is a lower bound.
+func (m *windowMiner) sweepDeadShapes() {
+	for len(m.deadQueue) > 0 {
+		e := m.deadQueue[0]
+		if e.epoch+deadShapeGrace > m.epoch {
+			break
+		}
+		m.deadQueue[0] = deadShape{}
+		m.deadQueue = m.deadQueue[1:]
+		g := e.g
+		g.queued = false
+		if g.refs > 0 {
+			continue
+		}
+		if g.deadEpoch+deadShapeGrace > m.epoch {
+			g.queued = true
+			m.deadQueue = append(m.deadQueue, deadShape{g: g, epoch: g.deadEpoch})
+			continue
+		}
+		inner := m.groups[g.path]
+		delete(inner, g.ckey)
+		if len(inner) == 0 {
+			delete(m.groups, g.path)
+		}
+	}
+	if len(m.deadQueue) == 0 {
+		m.deadQueue = nil // release the drained queue's backing array
+	}
 }
 
 // countP2P tallies p2p-labelled links through the allocation-free

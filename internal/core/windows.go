@@ -68,6 +68,18 @@ type WindowOptions struct {
 	Count int
 	// Mode selects incremental (default) or re-mine derivation.
 	Mode WindowsMode
+	// Stream, when non-nil, receives each window at close instead of
+	// accumulating it in PassiveWindowsResult.Windows — the long-horizon
+	// replay mode. In incremental mode a streamed window carries the
+	// maintained counters (MeshLinks, Stability, CloseTime, ...) but no
+	// materialized Result: the mesh is not snapshotted, so a close
+	// allocates O(churn), not O(mesh). The pointer is only valid for the
+	// duration of the callback.
+	Stream func(*PassiveWindow)
+
+	// shadow, when set (tests only), receives the incremental miner
+	// after every window close for full-InferLinks shadow checks.
+	shadow func(*windowMiner, *PassiveWindow)
 }
 
 // PassiveWindow is one window's inference outcome over the routes live
@@ -86,11 +98,21 @@ type PassiveWindow struct {
 	// Dropped tallies hygiene-filtered live routes.
 	Dropped DropStats
 	// RelLinks and P2PRels describe the window's AS-relationship
-	// inference: total inferred links and the p2p-labelled subset, both
-	// read through the allocation-free oracle iterators.
+	// inference: total inferred links and the p2p-labelled subset. In
+	// incremental mode both are delta-maintained counters.
 	RelLinks, P2PRels int
+	// MeshLinks is the distinct inferred ML link count — equal to
+	// Result.TotalLinks(), but available even when Result is not
+	// materialized (streaming mode).
+	MeshLinks int
+	// Stability is the Jaccard similarity between this window's and the
+	// previous window's link sets (1 for the first window).
+	Stability float64
+	// CloseTime is the wall-clock cost of deriving this window at close.
+	CloseTime time.Duration
 	// Result is the multilateral-peering inference over the window's
-	// live view.
+	// live view. Nil in streaming incremental mode; use the maintained
+	// counters instead.
 	Result *Result
 }
 
@@ -100,9 +122,12 @@ func (w *PassiveWindow) Links() map[topology.LinkKey][]string { return w.Result.
 // PassiveWindowsResult is the windowed passive run: one inference per
 // time window plus the stability of the inferred mesh across windows.
 type PassiveWindowsResult struct {
+	// Windows holds each window's outcome; empty in streaming mode
+	// (WindowOptions.Stream consumed them at close).
 	Windows []PassiveWindow
 	// Stability[i] is the Jaccard similarity between window i's and
-	// window i-1's inferred link sets (Stability[0] == 1).
+	// window i-1's inferred link sets (Stability[0] == 1). Populated in
+	// streaming mode too: it is O(1) per window.
 	Stability []float64
 }
 
@@ -150,6 +175,38 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 		miner = newWindowMiner(dict, store, relation.NewIncremental(store))
 	}
 
+	// intern resolves an announced (path, communities) to its canonical
+	// shape: probe the shape map with a scratch key first (string(ckb)
+	// map access compiles allocation-free) and only Clone the community
+	// set — and materialize the key — on first sight of the shape. In
+	// remine mode, where the miner's shape map is rebuilt per window, a
+	// run-scoped side table provides the same interning.
+	var ckb []byte
+	var remineShapes map[paths.ID]map[string]liveRoute
+	if miner == nil {
+		remineShapes = make(map[paths.ID]map[string]liveRoute)
+	}
+	intern := func(id paths.ID, comms bgp.Communities) liveRoute {
+		ckb = appendCommsKey(ckb[:0], comms)
+		if miner != nil {
+			if g, ok := miner.groups[id][string(ckb)]; ok {
+				return liveRoute{path: id, comms: g.comms, ckey: g.ckey}
+			}
+		} else if r, ok := remineShapes[id][string(ckb)]; ok {
+			return r
+		}
+		r := liveRoute{path: id, comms: comms.Clone(), ckey: string(ckb)}
+		if miner == nil {
+			inner := remineShapes[id]
+			if inner == nil {
+				inner = make(map[string]liveRoute, 1)
+				remineShapes[id] = inner
+			}
+			inner[r.ckey] = r
+		}
+		return r
+	}
+
 	set := func(k liveKey, r liveRoute) {
 		if miner != nil {
 			if old, ok := live[k]; ok {
@@ -181,12 +238,8 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 					continue
 				}
 				peer := d.Index.Peers[e.PeerIndex].ASN
-				cs := e.Attrs.Communities.Clone()
-				set(liveKey{peer, rib.Prefix}, liveRoute{
-					path:  store.InternASPath(e.Attrs.ASPath),
-					comms: cs,
-					ckey:  commsKey(cs),
-				})
+				id := store.InternASPath(e.Attrs.ASPath)
+				set(liveKey{peer, rib.Prefix}, intern(id, e.Attrs.Communities))
 			}
 		}
 	}
@@ -194,14 +247,36 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 	res := &PassiveWindowsResult{}
 	cur := PassiveWindow{Start: opts.Start, End: opts.Start.Add(opts.Window)}
 
+	// prevRemineLinks carries the previous window's link set for the
+	// remine-mode stability computation; incremental mode derives
+	// stability from the mesh's running counters instead.
+	var prevRemineLinks map[topology.LinkKey][]string
+	winIdx := 0
 	closeWindow := func() {
+		t0 := time.Now()
 		cur.LiveRoutes = len(live)
 		if miner != nil {
-			miner.closeWindow(&cur)
+			miner.closeWindow(&cur, opts.Stream == nil || opts.shadow != nil)
+			if opts.shadow != nil {
+				opts.shadow(miner, &cur)
+			}
 		} else {
 			remineLiveTable(store, live, dict, &cur)
+			cur.MeshLinks = cur.Result.TotalLinks()
+			cur.Stability = jaccardLinks(prevRemineLinks, cur.Result.Links)
+			prevRemineLinks = cur.Result.Links
 		}
-		res.Windows = append(res.Windows, cur)
+		if winIdx == 0 {
+			cur.Stability = 1
+		}
+		cur.CloseTime = time.Since(t0)
+		res.Stability = append(res.Stability, cur.Stability)
+		if opts.Stream != nil {
+			opts.Stream(&cur)
+		} else {
+			res.Windows = append(res.Windows, cur)
+		}
+		winIdx++
 		cur = PassiveWindow{Start: cur.End, End: cur.End.Add(opts.Window)}
 	}
 
@@ -223,10 +298,9 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 			return
 		}
 		id := store.InternASPath(upd.Attrs.ASPath)
-		cs := upd.Attrs.Communities.Clone()
-		ck := commsKey(cs)
+		r := intern(id, upd.Attrs.Communities)
 		for _, p := range upd.NLRI {
-			set(liveKey{u.PeerASN, p}, liveRoute{path: id, comms: cs, ckey: ck})
+			set(liveKey{u.PeerASN, p}, r)
 		}
 		if count {
 			cur.Announced += len(upd.NLRI)
@@ -239,25 +313,16 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 			apply(u, false)
 			continue
 		}
-		for len(res.Windows) < opts.Count && !u.Timestamp.Before(cur.End) {
+		for winIdx < opts.Count && !u.Timestamp.Before(cur.End) {
 			closeWindow()
 		}
-		if len(res.Windows) >= opts.Count {
+		if winIdx >= opts.Count {
 			break
 		}
 		apply(u, true)
 	}
-	for len(res.Windows) < opts.Count {
+	for winIdx < opts.Count {
 		closeWindow()
-	}
-
-	res.Stability = make([]float64, len(res.Windows))
-	for i := range res.Windows {
-		if i == 0 {
-			res.Stability[0] = 1
-			continue
-		}
-		res.Stability[i] = jaccardLinks(res.Windows[i-1].Result.Links, res.Windows[i].Result.Links)
 	}
 	return res, nil
 }
@@ -304,14 +369,21 @@ func remineLiveTable(store *paths.Store, live map[liveKey]liveRoute, dict *Dicti
 }
 
 // jaccardLinks computes |a∩b| / |a∪b| over link sets (1 when both are
-// empty).
+// empty), iterating only the smaller side.
 func jaccardLinks(a, b map[topology.LinkKey][]string) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, big := a, b
+	if len(b) < len(a) {
+		small, big = b, a
+	}
 	inter := 0
-	for k := range a {
-		if _, ok := b[k]; ok {
+	for k := range small {
+		if _, ok := big[k]; ok {
 			inter++
 		}
 	}

@@ -196,8 +196,11 @@ func flapTrace(t *testing.T, t0 time.Time, w time.Duration) []*mrt.BGP4MPMessage
 		upd(t0.Add(2*w+2*time.Minute), 100, nil, nil, nil, []bgp.Prefix{p4}),
 
 		// Window 3: the case-3 shape returns after a dead window: it
-		// must re-register for re-pinpointing.
+		// must re-register for re-pinpointing. Setter 200 also edits its
+		// filter (excluding 300), killing the 200--300 link while both
+		// stay covered.
 		upd(t0.Add(3*w+time.Minute), 100, []bgp.ASN{100, 200, 8359}, all, []bgp.Prefix{p4}, nil),
+		upd(t0.Add(3*w+2*time.Minute), 100, []bgp.ASN{100, 200}, comms(t, "6695:6695 0:300"), []bgp.Prefix{p1}, nil),
 	}
 }
 
@@ -233,6 +236,7 @@ func TestWindowedModesEquivalent(t *testing.T) {
 		}
 		if wi.LiveRoutes != wr.LiveRoutes || wi.Dropped != wr.Dropped ||
 			wi.RelLinks != wr.RelLinks || wi.P2PRels != wr.P2PRels ||
+			wi.MeshLinks != wr.MeshLinks ||
 			wi.Announced != wr.Announced || wi.Withdrawn != wr.Withdrawn {
 			t.Fatalf("window %d: counters diverge:\nincremental %+v\nremine      %+v", i, wi, wr)
 		}
@@ -276,7 +280,7 @@ func TestWindowFlapRestoresObservationState(t *testing.T) {
 	}
 	before := snapshot()
 	var w1 PassiveWindow
-	m.closeWindow(&w1)
+	m.closeWindow(&w1, true)
 	if w1.Result.TotalLinks() != 1 {
 		t.Fatalf("pre-flap links = %d, want 1", w1.Result.TotalLinks())
 	}
@@ -291,7 +295,7 @@ func TestWindowFlapRestoresObservationState(t *testing.T) {
 		t.Fatalf("flap did not restore miner state:\nbefore %s\nafter  %s", before, got)
 	}
 	var w2 PassiveWindow
-	m.closeWindow(&w2)
+	m.closeWindow(&w2, true)
 	var a, b []byte
 	if a, b = w1.Result.AppendMesh(nil), w2.Result.AppendMesh(nil); !bytes.Equal(a, b) {
 		t.Fatal("flap changed the inferred mesh")
@@ -301,7 +305,7 @@ func TestWindowFlapRestoresObservationState(t *testing.T) {
 	m.apply(m.group(id1, all, ck), p1, -1)
 	m.apply(m.group(id2, all, ck), p2, -1)
 	var w3 PassiveWindow
-	m.closeWindow(&w3)
+	m.closeWindow(&w3, true)
 	if w3.Result.TotalLinks() != 0 || len(m.obs.Setters("DE-CIX")) != 0 {
 		t.Fatalf("withdrawn world still covered: %d links, setters %v",
 			w3.Result.TotalLinks(), m.obs.Setters("DE-CIX"))
@@ -344,6 +348,202 @@ func TestWindowedRSLeaveRejoin(t *testing.T) {
 			if pw.LiveRoutes != 2 {
 				t.Fatalf("%v: window %d live = %d, want 2", mode, i, pw.LiveRoutes)
 			}
+		}
+	}
+}
+
+// TestWindowedShadowInferLinks runs the per-window full-InferLinks
+// shadow check across a mixed announce/withdraw/RS-leave/filter-edit
+// schedule: at every close, the delta-maintained mesh snapshot must be
+// byte-identical to a from-scratch InferLinks over the same observation
+// store, and the maintained counters must match the full derivation.
+func TestWindowedShadowInferLinks(t *testing.T) {
+	d := testDict(t)
+	t0 := time.Date(2013, 5, 1, 2, 0, 0, 0, time.UTC)
+	w := 10 * time.Minute
+	p1 := bgp.MustPrefix("10.1.0.0/24")
+	p2 := bgp.MustPrefix("10.2.0.0/24")
+	p3 := bgp.MustPrefix("10.3.0.0/24")
+	p4 := bgp.MustPrefix("10.4.0.0/24")
+	all := comms(t, "6695:6695")
+	excl300 := comms(t, "6695:6695 0:300")
+	msk := comms(t, "8631:8631")
+
+	updates := []*mrt.BGP4MPMessage{
+		// Base: three DE-CIX setters (one via a case-3 path) and one
+		// MSK-IX setter, so multiple meshes are maintained at once.
+		upd(t0.Add(-4*time.Minute), 100, []bgp.ASN{100, 200}, all, []bgp.Prefix{p1}, nil),
+		upd(t0.Add(-3*time.Minute), 100, []bgp.ASN{100, 300}, all, []bgp.Prefix{p2}, nil),
+		upd(t0.Add(-2*time.Minute), 100, []bgp.ASN{100, 200, 8359}, all, []bgp.Prefix{p4}, nil),
+		upd(t0.Add(-time.Minute), 100, []bgp.ASN{100, 400}, msk, []bgp.Prefix{p3}, nil),
+
+		// Window 0: in-window flap (must be invisible at close).
+		upd(t0.Add(time.Minute), 100, nil, nil, nil, []bgp.Prefix{p1}),
+		upd(t0.Add(2*time.Minute), 100, []bgp.ASN{100, 200}, all, []bgp.Prefix{p1}, nil),
+
+		// Window 1: filter edit — 200 now excludes 300.
+		upd(t0.Add(w+time.Minute), 100, []bgp.ASN{100, 200}, excl300, []bgp.Prefix{p1}, nil),
+
+		// Window 2: RS leave — 300 keeps announcing without communities;
+		// the case-3 path is withdrawn.
+		upd(t0.Add(2*w+time.Minute), 100, []bgp.ASN{100, 300}, nil, []bgp.Prefix{p2}, nil),
+		upd(t0.Add(2*w+2*time.Minute), 100, nil, nil, nil, []bgp.Prefix{p4}),
+
+		// Window 3: 300 rejoins, 200's filter edit reverts, the case-3
+		// shape returns.
+		upd(t0.Add(3*w+time.Minute), 100, []bgp.ASN{100, 300}, all, []bgp.Prefix{p2}, nil),
+		upd(t0.Add(3*w+2*time.Minute), 100, []bgp.ASN{100, 200}, all, []bgp.Prefix{p1}, nil),
+		upd(t0.Add(3*w+3*time.Minute), 100, []bgp.ASN{100, 200, 8359}, all, []bgp.Prefix{p4}, nil),
+
+		// Window 4: the MSK-IX setter withdraws everything.
+		upd(t0.Add(4*w+time.Minute), 100, nil, nil, nil, []bgp.Prefix{p3}),
+	}
+
+	shadowCalls := 0
+	var meshLinks []int
+	var a, b []byte
+	opts := WindowOptions{Start: t0, Window: w, Count: 5, Mode: WindowsIncremental}
+	opts.shadow = func(m *windowMiner, pw *PassiveWindow) {
+		shadowCalls++
+		full := InferLinks(m.dict, m.obs)
+		a = pw.Result.AppendMesh(a[:0])
+		b = full.AppendMesh(b[:0])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("window %d: mesh snapshot diverges from full InferLinks (%d vs %d links)",
+				shadowCalls-1, pw.Result.TotalLinks(), full.TotalLinks())
+		}
+		if pw.MeshLinks != full.TotalLinks() {
+			t.Fatalf("window %d: MeshLinks %d, full inference %d", shadowCalls-1, pw.MeshLinks, full.TotalLinks())
+		}
+		if pw.P2PRels != countP2P(m.rel) {
+			t.Fatalf("window %d: P2PRels %d, full tally %d", shadowCalls-1, pw.P2PRels, countP2P(m.rel))
+		}
+		meshLinks = append(meshLinks, pw.MeshLinks)
+	}
+	if _, err := RunPassiveWindows(nil, updates, d, opts); err != nil {
+		t.Fatal(err)
+	}
+	if shadowCalls != 5 {
+		t.Fatalf("shadow ran %d times, want 5", shadowCalls)
+	}
+	// The schedule must actually move the mesh: the filter edit kills
+	// the 200--300 link, the revert restores it.
+	if meshLinks[0] == 0 || meshLinks[1] >= meshLinks[0] || meshLinks[3] <= meshLinks[2] {
+		t.Fatalf("schedule too weak to exercise the mesh: links per window %v", meshLinks)
+	}
+}
+
+// TestFlapStormShapeSweep pins the dead-shape sweep: a storm of distinct
+// (path, comms) shapes that appear and fully withdraw must be compacted
+// out of the lookup map once dead past the grace period, returning the
+// shape count to its pre-storm baseline — while a shape that flaps back
+// within the grace period keeps its derived state (same group identity).
+func TestFlapStormShapeSweep(t *testing.T) {
+	d := testDict(t)
+	store := paths.NewStore()
+	m := newWindowMiner(d, store, relation.NewIncremental(store))
+
+	all := comms(t, "6695:6695")
+	ck := commsKey(all)
+	p1 := bgp.MustPrefix("10.1.0.0/24")
+	id1 := store.Intern([]bgp.ASN{100, 200})
+
+	m.apply(m.group(id1, all, ck), p1, 1)
+	var pw PassiveWindow
+	m.closeWindow(&pw, true)
+	baseline := m.shapeCount()
+
+	// Storm: distinct comms shapes on the same path, announced then
+	// fully withdrawn within one window.
+	const stormN = 50
+	for i := 0; i < stormN; i++ {
+		cs := comms(t, fmt.Sprintf("6695:6695 0:%d", 1000+i))
+		k := commsKey(cs)
+		m.apply(m.group(id1, cs, k), p1, 1)
+		m.apply(m.group(id1, cs, k), p1, -1)
+	}
+	if got := m.shapeCount(); got != baseline+stormN {
+		t.Fatalf("mid-storm shape count = %d, want %d", got, baseline+stormN)
+	}
+
+	// One shape flaps back inside the grace period and must keep its
+	// identity (derived state preserved, no re-derivation).
+	flapComms := comms(t, "6695:6695 0:1000")
+	flapKey := commsKey(flapComms)
+	flapG := m.group(id1, flapComms, flapKey)
+	m.closeWindow(&pw, true)
+	m.apply(m.group(id1, flapComms, flapKey), p1, 1)
+	if m.group(id1, flapComms, flapKey) != flapG {
+		t.Fatal("shape flapping back within grace lost its identity")
+	}
+	m.apply(m.group(id1, flapComms, flapKey), p1, -1)
+
+	// Enough idle closes for every storm shape to age past the grace.
+	for i := 0; i < deadShapeGrace+2; i++ {
+		m.closeWindow(&pw, true)
+	}
+	if got := m.shapeCount(); got != baseline {
+		t.Fatalf("post-storm shape count = %d, want baseline %d", got, baseline)
+	}
+	if len(m.deadQueue) != 0 {
+		t.Fatalf("dead queue not drained: %d entries", len(m.deadQueue))
+	}
+	// The swept shape is re-derived from scratch when it returns.
+	if m.group(id1, flapComms, flapKey) == flapG {
+		t.Fatal("swept shape kept stale identity")
+	}
+	// The live shape survived the storm and the sweeps.
+	if pw.MeshLinks != 0 {
+		t.Fatalf("mesh links = %d, want 0 (single covered setter)", pw.MeshLinks)
+	}
+	if m.obs.Setters("DE-CIX") == nil {
+		t.Fatal("live setter lost during sweep")
+	}
+}
+
+// TestWindowedStreamingMatchesRetained pins streaming mode to the
+// retained run: the same per-window counters arrive through the Stream
+// callback, with no materialized Result.
+func TestWindowedStreamingMatchesRetained(t *testing.T) {
+	d := testDict(t)
+	t0 := time.Date(2013, 5, 1, 2, 0, 0, 0, time.UTC)
+	w := 10 * time.Minute
+	updates := flapTrace(t, t0, w)
+
+	retained, err := RunPassiveWindows(nil, updates, d, WindowOptions{Start: t0, Window: w, Count: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type row struct {
+		live, relLinks, p2p, mesh int
+		stability                 float64
+	}
+	var got []row
+	opts := WindowOptions{Start: t0, Window: w, Count: 4, Stream: func(pw *PassiveWindow) {
+		if pw.Result != nil {
+			t.Fatal("streaming window materialized a Result")
+		}
+		got = append(got, row{pw.LiveRoutes, pw.RelLinks, pw.P2PRels, pw.MeshLinks, pw.Stability})
+	}}
+	res, err := RunPassiveWindows(nil, updates, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 0 {
+		t.Fatalf("streaming run retained %d windows", len(res.Windows))
+	}
+	if len(got) != len(retained.Windows) {
+		t.Fatalf("streamed %d windows, retained run has %d", len(got), len(retained.Windows))
+	}
+	for i, r := range got {
+		pw := &retained.Windows[i]
+		want := row{pw.LiveRoutes, pw.RelLinks, pw.P2PRels, pw.Result.TotalLinks(), retained.Stability[i]}
+		if r != want {
+			t.Fatalf("window %d: streamed %+v, retained %+v", i, r, want)
+		}
+		if res.Stability[i] != retained.Stability[i] {
+			t.Fatalf("window %d: streamed stability %v, retained %v", i, res.Stability[i], retained.Stability[i])
 		}
 	}
 }

@@ -113,6 +113,27 @@ func (ct *ChurnTrace) Windows(mode core.WindowsMode) (*core.PassiveWindowsResult
 	})
 }
 
+// StreamWindows replays the trace in streaming mode: each window is
+// handed to fn at close and not retained — in incremental mode the mesh
+// is never snapshotted, so memory stays bounded by the live state
+// regardless of horizon length (the long-horizon replay mode). count
+// overrides the number of windows when positive (windows past the last
+// update replay over the then-static live table), letting a fixed trace
+// drive an arbitrarily long horizon.
+func (ct *ChurnTrace) StreamWindows(mode core.WindowsMode, count int, fn func(*core.PassiveWindow)) error {
+	if count <= 0 {
+		count = ct.Epochs
+	}
+	_, err := core.RunPassiveWindows(ct.Dumps, ct.Updates, ct.Dict, core.WindowOptions{
+		Start:  ct.Start,
+		Window: ct.Interval,
+		Count:  count,
+		Mode:   mode,
+		Stream: fn,
+	})
+	return err
+}
+
 // RunChurn builds a churn trace and re-runs passive inference per epoch
 // window in the given mode (core.WindowsIncremental maintains the
 // observation store under announce/withdraw deltas; core.WindowsRemine

@@ -44,6 +44,15 @@ type Incremental struct {
 	degree  map[bgp.ASN]int          // distinct transit neighbors (len of live pairs)
 	votes   map[topology.LinkKey]*vote
 
+	// touchedLinks collects the links whose label inputs (votes,
+	// endpoint degree, clique membership, adjacency) may have moved
+	// since the last Commit; p2pSet holds the links labelled p2p as of
+	// that Commit. Together they maintain P2PCount as a delta counter:
+	// Commit relabels only the touched links instead of iterating the
+	// whole link set.
+	touchedLinks map[topology.LinkKey]bool
+	p2pSet       map[topology.LinkKey]bool
+
 	pathVotes map[paths.ID][]voteEdge       // cached contribution of each voted path
 	pathsByAS map[bgp.ASN]map[paths.ID]bool // hop -> live paths (vote invalidation index)
 	pending   map[paths.ID]bool             // added since last Commit, not yet voted
@@ -69,6 +78,8 @@ func NewIncremental(store *paths.Store) *Incremental {
 		touched:       make(map[bgp.ASN]int),
 		cliqueSet:     make(map[bgp.ASN]bool),
 		revoteScratch: make(map[paths.ID]bool),
+		touchedLinks:  make(map[topology.LinkKey]bool),
+		p2pSet:        make(map[topology.LinkKey]bool),
 	}
 }
 
@@ -144,7 +155,8 @@ func (inc *Incremental) RemovePath(id paths.ID) {
 	inc.subtractVotes(id)
 }
 
-// subtractVotes rolls back id's cached vote contribution.
+// subtractVotes rolls back id's cached vote contribution. Every edge
+// whose vote moves is marked touched so the next Commit relabels it.
 func (inc *Incremental) subtractVotes(id paths.ID) {
 	for _, e := range inc.pathVotes[id] {
 		v := inc.votes[e.key]
@@ -152,6 +164,7 @@ func (inc *Incremental) subtractVotes(id paths.ID) {
 		if v.empty() {
 			delete(inc.votes, e.key)
 		}
+		inc.touchedLinks[e.key] = true
 	}
 	delete(inc.pathVotes, id)
 }
@@ -209,6 +222,7 @@ func (inc *Incremental) Commit() {
 				inc.votes[key] = v
 			}
 			v.add(key, customer, 1)
+			inc.touchedLinks[key] = true
 			edges = append(edges, voteEdge{key: key, customer: customer})
 		})
 		if len(edges) > 0 {
@@ -217,6 +231,22 @@ func (inc *Incremental) Commit() {
 	}
 	clear(inc.pending)
 	clear(inc.touched)
+
+	// Reconcile the p2p counter: every link whose label inputs moved —
+	// vote deltas directly, endpoint degree or clique flips through the
+	// re-vote of every live path containing the flipped AS — is in
+	// touchedLinks; relabel exactly those. Links never touched kept
+	// their votes, degrees and clique context, so their label is
+	// unchanged by construction.
+	for key := range inc.touchedLinks {
+		p2p := inc.adj[key] > 0 && resolveRel(key, inc.votes[key], inc.cliqueSet, inc.degree) == RelP2P
+		if p2p {
+			inc.p2pSet[key] = true
+		} else {
+			delete(inc.p2pSet, key)
+		}
+	}
+	clear(inc.touchedLinks)
 }
 
 // Relationship returns the pair's relationship from a's perspective,
@@ -242,6 +272,12 @@ func (inc *Incremental) Relationship(a, b bgp.ASN) Rel {
 
 // LinkCount returns the number of inferred links (adjacent pairs).
 func (inc *Incremental) LinkCount() int { return len(inc.adj) }
+
+// P2PCount returns the number of p2p-labelled links, maintained as a
+// delta counter: Commit relabels only the links its deltas touched.
+// Like every query, it is only valid after a Commit with no later
+// AddPath/RemovePath.
+func (inc *Incremental) P2PCount() int { return len(inc.p2pSet) }
 
 // ForEachLink calls fn for every inferred link until fn returns false,
 // resolving each label on demand. Iteration order is undefined.

@@ -70,7 +70,11 @@ func assertOracleEquivalence(t *testing.T, step int, store *paths.Store, live ma
 		got[k] = r
 		return true
 	})
+	p2p := 0
 	batch.ForEachLink(func(k topology.LinkKey, want Rel) bool {
+		if want == RelP2P {
+			p2p++
+		}
 		if got[k] != want {
 			t.Fatalf("step %d: link %v: batch %v vs incremental %v", step, k, want, got[k])
 		}
@@ -83,6 +87,10 @@ func assertOracleEquivalence(t *testing.T, step int, store *paths.Store, live ma
 	})
 	if inc.Relationship(4200000000, 4200000001) != RelUnknown {
 		t.Fatalf("step %d: unknown pair not RelUnknown", step)
+	}
+	// The delta-maintained p2p counter must match a full batch tally.
+	if inc.P2PCount() != p2p {
+		t.Fatalf("step %d: P2PCount %d, batch counts %d p2p links", step, inc.P2PCount(), p2p)
 	}
 }
 
@@ -127,6 +135,10 @@ func TestIncrementalMatchesBatch(t *testing.T) {
 	if inc.LinkCount() != 0 || len(inc.votes) != 0 || len(inc.transit) != 0 || len(inc.degree) != 0 {
 		t.Fatalf("drained oracle retains state: %d links, %d votes, %d transit, %d degrees",
 			inc.LinkCount(), len(inc.votes), len(inc.transit), len(inc.degree))
+	}
+	if inc.P2PCount() != 0 || len(inc.touchedLinks) != 0 {
+		t.Fatalf("drained oracle retains p2p state: %d p2p, %d touched",
+			inc.P2PCount(), len(inc.touchedLinks))
 	}
 }
 

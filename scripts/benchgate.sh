@@ -6,6 +6,11 @@
 # by more than the given percentage. benchstat renders the human-readable
 # diff next to this gate; the gate itself works on the raw samples so a
 # benchstat output-format change can never silently disarm it.
+#
+# ALLOW_MISSING_BASE=1 downgrades "missing from base" to a skip-with-note
+# so a PR that introduces a brand-new benchmark can gate it in the same
+# change; a benchmark missing from HEAD always fails (deleting one must
+# be an explicit matrix edit, never a silent pass).
 set -euo pipefail
 
 if [ "$#" -lt 4 ]; then
@@ -41,7 +46,20 @@ mean_ns() {
 
 fail=0
 for bench in "$@"; do
-    b="$(mean_ns "$base" "$bench")" || { echo "FAIL: $bench missing from $base" >&2; fail=1; continue; }
+    if ! b="$(mean_ns "$base" "$bench")"; then
+        if [ "${ALLOW_MISSING_BASE:-0}" = "1" ]; then
+            if mean_ns "$head" "$bench" >/dev/null; then
+                echo "skip: $bench missing from $base (new benchmark, no baseline yet)"
+            else
+                echo "FAIL: $bench missing from $head" >&2
+                fail=1
+            fi
+        else
+            echo "FAIL: $bench missing from $base" >&2
+            fail=1
+        fi
+        continue
+    fi
     h="$(mean_ns "$head" "$bench")" || { echo "FAIL: $bench missing from $head" >&2; fail=1; continue; }
     delta="$(awk -v b="$b" -v h="$h" 'BEGIN { printf "%.1f", (h - b) / b * 100 }')"
     over="$(awk -v d="$delta" -v m="$maxpct" 'BEGIN { print (d > m) ? 1 : 0 }')"

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# benchjson.sh BASE.txt HEAD.txt BENCH_NAME... > out.json
+#
+# Emits a machine-readable summary of a base-vs-head benchmark
+# comparison as JSON: per benchmark the sample counts, mean ns/op on
+# each side, and the percentage delta. BASE.txt may be /dev/null (or
+# simply lack a benchmark) — the base fields are then null, matching
+# benchgate.sh's ALLOW_MISSING_BASE skip. Uses only awk so CI needs no
+# extra tooling; the schema is
+#
+#   {"benchmarks": [{"name": ..., "base_ns_op": ..., "head_ns_op": ...,
+#                    "base_samples": ..., "head_samples": ...,
+#                    "delta_pct": ...}, ...]}
+set -euo pipefail
+
+if [ "$#" -lt 3 ]; then
+    echo "usage: $0 base.txt head.txt bench_name..." >&2
+    exit 2
+fi
+
+base="$1"
+head="$2"
+shift 2
+
+# stats FILE BENCH -> "mean_ns n" (n = 0 when absent). Accepts both
+# plain and -benchmem output rows, like benchgate.sh's mean_ns.
+stats() {
+    awk -v bench="$2" '
+        {
+            for (i = 2; i < NF; i++) {
+                if ($1 ~ "^"bench"(/|-|$)" && $(i+1) == "ns/op") {
+                    sum += $i; n++
+                    break
+                }
+            }
+        }
+        END {
+            if (n == 0) { print "0 0" } else { printf "%.2f %d\n", sum / n, n }
+        }
+    ' "$1"
+}
+
+printf '{"benchmarks": ['
+sep=""
+for bench in "$@"; do
+    read -r bmean bn <<<"$(stats "$base" "$bench")"
+    read -r hmean hn <<<"$(stats "$head" "$bench")"
+    printf '%s' "$sep"
+    sep=", "
+    awk -v name="$bench" -v bmean="$bmean" -v bn="$bn" -v hmean="$hmean" -v hn="$hn" '
+        BEGIN {
+            printf "{\"name\": \"%s\", ", name
+            if (bn == 0) { printf "\"base_ns_op\": null, \"base_samples\": 0, " }
+            else { printf "\"base_ns_op\": %s, \"base_samples\": %d, ", bmean, bn }
+            if (hn == 0) { printf "\"head_ns_op\": null, \"head_samples\": 0, " }
+            else { printf "\"head_ns_op\": %s, \"head_samples\": %d, ", hmean, hn }
+            if (bn == 0 || hn == 0) { printf "\"delta_pct\": null}" }
+            else { printf "\"delta_pct\": %.1f}", (hmean - bmean) / bmean * 100 }
+        }
+    '
+done
+printf ']}\n'
