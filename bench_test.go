@@ -591,7 +591,9 @@ func BenchmarkWindowedInference(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := ct.Windows(bc.mode)
+				// Workers=0 resolves to GOMAXPROCS, so `go test -cpu=1,4,8`
+				// produces the close-time scaling table directly.
+				res, err := ct.Windows(bc.mode, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -618,7 +620,7 @@ func BenchmarkWindowedInferenceShort(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := ct.Windows(core.WindowsIncremental)
+		res, err := ct.Windows(core.WindowsIncremental, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -670,7 +672,7 @@ func BenchmarkLongHorizonWindows(b *testing.B) {
 	var msFirst, msLast runtime.MemStats
 	for i := 0; i < b.N; i++ {
 		var closes []time.Duration
-		err := ct.StreamWindows(core.WindowsIncremental, 0, func(pw *core.PassiveWindow) {
+		err := ct.StreamWindows(core.WindowsIncremental, 0, 0, func(pw *core.PassiveWindow) {
 			if pw.Result != nil {
 				b.Fatal("streaming window materialized a Result")
 			}

@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,6 +37,9 @@ func main() {
 	windowsMode := flag.String("windows-mode", "incremental", "churn mode: per-window mesh derivation (incremental = delta-maintained observation store, remine = re-mine the live table each window)")
 	churnStream := flag.Bool("churn-stream", false, "churn mode: stream windows instead of retaining them (long-horizon replay; prints per-window close stats and a summary)")
 	churnWindows := flag.Int("churn-windows", 0, "churn mode with -churn-stream: total windows to replay (0 = one per epoch; extras replay over the final live table)")
+	churnWorkers := flag.Int("churn-workers", 0, "churn mode: worker goroutines for window closes (0 = all cores, 1 = sequential; output is identical)")
+	cpuProfile := flag.String("cpuprofile", "", "churn mode: write a CPU profile covering only the windowed replay (world and trace build excluded) to this file")
+	memProfile := flag.String("memprofile", "", "churn mode: write a post-replay heap profile to this file")
 	flag.Parse()
 
 	cfg := topology.DefaultConfig()
@@ -53,17 +57,27 @@ func main() {
 		ccfg.Epochs = *churnEpochs
 		ccfg.Interval = *churnInterval
 		start := time.Now()
-		if *churnStream {
-			runChurnStream(cfg, ccfg, mode, *churnWindows, start)
-			return
-		}
-		res, err := experiments.RunChurn(cfg, ccfg, mode)
+		// The trace is built before the profile starts, so -cpuprofile
+		// captures exactly the windowed replay: the parallel close path
+		// under measurement, not world generation.
+		ct, err := experiments.BuildChurnTrace(cfg, ccfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("churn run ready in %v (scale %v, scenario %s, %d epochs, %s windows)",
-			time.Since(start).Round(time.Millisecond), *scale, *scenario, ccfg.Epochs, mode)
-		res.Render().Render(os.Stdout)
+		log.Printf("churn trace ready in %v (scale %v, scenario %s, %d epochs @ %v)",
+			time.Since(start).Round(time.Millisecond), *scale, ct.Scenario, ct.Epochs, ct.Interval)
+		stopCPU := startCPUProfile(*cpuProfile)
+		if *churnStream {
+			runChurnStream(ct, mode, *churnWindows, *churnWorkers)
+		} else {
+			res, err := ct.Run(mode, *churnWorkers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res.Render().Render(os.Stdout)
+		}
+		stopCPU()
+		writeMemProfile(*memProfile)
 		return
 	}
 
@@ -81,26 +95,58 @@ func main() {
 	}
 }
 
+// startCPUProfile begins a CPU profile into file (no-op for "") and
+// returns the stop function.
+func startCPUProfile(file string) func() {
+	if file == "" {
+		return func() {}
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		log.Fatal(err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cpu profile written to %s", file)
+	}
+}
+
+// writeMemProfile writes a post-GC heap profile to file (no-op for "").
+func writeMemProfile(file string) {
+	if file == "" {
+		return
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("heap profile written to %s", file)
+}
+
 // runChurnStream replays the churn trace in streaming mode: windows are
 // handed back one at a time and never retained, so the horizon can run
 // far past the mutation epochs at flat memory. Per-window close stats go
 // to stdout; a summary of first/second-half close times and the post-GC
 // heap follows.
-func runChurnStream(cfg topology.Config, ccfg churn.Config, mode core.WindowsMode, windows int, start time.Time) {
-	ct, err := experiments.BuildChurnTrace(cfg, ccfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("churn trace ready in %v (scenario %s, %d epochs @ %v)",
-		time.Since(start).Round(time.Millisecond), ct.Scenario, ct.Epochs, ct.Interval)
-
+func runChurnStream(ct *experiments.ChurnTrace, mode core.WindowsMode, windows, workers int) {
 	total := windows
 	if total <= 0 {
 		total = ct.Epochs
 	}
 	var closes []time.Duration
 	var ms runtime.MemStats
-	err = ct.StreamWindows(mode, windows, func(w *core.PassiveWindow) {
+	err := ct.StreamWindows(mode, windows, workers, func(w *core.PassiveWindow) {
 		closes = append(closes, w.CloseTime)
 		fmt.Fprintf(os.Stdout, "window %3d: live %6d rels %5d p2p %5d mesh %4d stability %.3f close %v\n",
 			len(closes)-1, w.LiveRoutes, w.RelLinks, w.P2PRels, w.MeshLinks, w.Stability,

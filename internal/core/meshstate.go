@@ -22,6 +22,7 @@ import (
 
 	"mlpeering/internal/bgp"
 	"mlpeering/internal/ixp"
+	"mlpeering/internal/par"
 	"mlpeering/internal/topology"
 )
 
@@ -89,9 +90,19 @@ type meshSetter struct {
 	links meshBits
 }
 
+// meshEvent is one link transition recorded by an IXP's per-IXP update
+// pass, replayed into the global counters by the ordered commit.
+type meshEvent struct {
+	key topology.LinkKey
+	add bool
+}
+
 // meshIXP is one IXP's maintained mesh: slot-indexed setters (slots are
 // assigned on first coverage and never freed — bounded by the members
 // ever covered, not by trace length) and the live per-IXP link set.
+// events buffers the link transitions of the current Apply pass; it is
+// only touched by the single worker owning the IXP's work item and by
+// the sequential commit.
 type meshIXP struct {
 	entry   *IXPEntry
 	members []bgp.ASN // entry.Members(), cached once per run
@@ -99,14 +110,16 @@ type meshIXP struct {
 	setters []*meshSetter
 	covered int
 	links   map[topology.LinkKey]bool
+	events  []meshEvent
 }
 
 // MeshState is the delta-maintained §4.1 reciprocity mesh over every
 // IXP of a dictionary. Apply consumes the dirty (IXP, setter) set a
 // DeltaObservations tracked since the last window close and updates
 // filters, allow bitsets, links and the running counters; Snapshot
-// materializes the equivalent of InferLinks over the same store. Not
-// safe for concurrent use.
+// materializes the equivalent of InferLinks over the same store. Apply
+// and Snapshot fan out per IXP on a worker pool internally; the struct
+// itself is not safe for concurrent use.
 type MeshState struct {
 	dict   *Dictionary
 	byName map[string]*meshIXP
@@ -125,6 +138,21 @@ type MeshState struct {
 
 	dirty     []DirtySetter
 	dirtySeen map[DirtySetter]struct{}
+
+	// Apply scratch: per-IXP work items (first-seen order over the
+	// drained dirty list) and the IXP -> work index map.
+	works   []meshWork
+	workIdx map[string]int
+}
+
+// meshWork is one Apply work item: one IXP's dirty setters in drained
+// order. Work items touch disjoint per-IXP state, so the pool runs them
+// concurrently; their recorded link events commit sequentially in
+// work-item order, which is deterministic and worker-count-invariant
+// because it derives from the drained dirty list alone.
+type meshWork struct {
+	mi      *meshIXP
+	setters []bgp.ASN
 }
 
 // NewMeshState returns an empty mesh over the dictionary's IXPs.
@@ -135,6 +163,7 @@ func NewMeshState(dict *Dictionary) *MeshState {
 		links:     make(map[topology.LinkKey][]string),
 		changed:   make(map[topology.LinkKey]bool),
 		dirtySeen: make(map[DirtySetter]struct{}),
+		workIdx:   make(map[string]int),
 	}
 	for _, e := range dict.Entries {
 		ms.byName[e.Name] = &meshIXP{
@@ -156,30 +185,62 @@ func (ms *MeshState) MultiIXPLinks() int { return ms.multi }
 
 // Apply drains the store's dirty setters and re-derives exactly their
 // coverage, filter and reciprocity links. Everything else is untouched:
-// the cost is O(churned setters × their flipped allow relations).
-func (ms *MeshState) Apply(obs *DeltaObservations) {
+// the cost is O(churned setters × their flipped allow relations). The
+// drained set is partitioned into per-IXP work items that run on up to
+// workers goroutines — per-IXP mesh state is disjoint and the store is
+// read-only during the pass — and the recorded link transitions commit
+// into the global attribution/stability counters sequentially in
+// work-item order, so the outcome is identical for any worker count.
+func (ms *MeshState) Apply(obs *DeltaObservations, workers int) {
 	ms.dirty = obs.DrainDirty(ms.dirty[:0])
+	ms.works = ms.works[:0]
 	for _, d := range ms.dirty {
 		if _, dup := ms.dirtySeen[d]; dup {
 			continue
 		}
 		ms.dirtySeen[d] = struct{}{}
-		ms.updateSetter(obs, d)
+		mi := ms.byName[d.IXP]
+		if mi == nil || !mi.entry.IsMember(d.Setter) {
+			continue // a stray observation outside known connectivity
+		}
+		idx, ok := ms.workIdx[d.IXP]
+		if !ok {
+			idx = len(ms.works)
+			ms.workIdx[d.IXP] = idx
+			ms.works = append(ms.works, meshWork{mi: mi})
+		}
+		ms.works[idx].setters = append(ms.works[idx].setters, d.Setter)
 	}
 	clear(ms.dirtySeen)
+	clear(ms.workIdx)
+	par.Run(workers, len(ms.works), func(i int) {
+		w := &ms.works[i]
+		for _, setter := range w.setters {
+			ms.updateSetter(obs, w.mi, setter)
+		}
+	})
+	for i := range ms.works {
+		w := &ms.works[i]
+		for _, ev := range w.mi.events {
+			if ev.add {
+				ms.commitAdd(w.mi, ev.key)
+			} else {
+				ms.commitRemove(w.mi, ev.key)
+			}
+		}
+		w.mi.events = w.mi.events[:0]
+		w.mi = nil
+	}
 }
 
 // updateSetter re-derives one (IXP, setter): departed, joined, or
 // re-filtered. The outcome is order-independent across the dirty set:
 // a pair of dirty setters is rechecked by whichever side is processed
-// last with both filters final.
-func (ms *MeshState) updateSetter(obs *DeltaObservations, d DirtySetter) {
-	mi := ms.byName[d.IXP]
-	if mi == nil || !mi.entry.IsMember(d.Setter) {
-		return // a stray observation outside known connectivity
-	}
-	f, ok := obs.Filter(d.IXP, d.Setter, mi.entry.Scheme)
-	slot, haveSlot := mi.slotOf[d.Setter]
+// last with both filters final. It touches only mi's state plus the
+// read-only store, so distinct IXPs update concurrently.
+func (ms *MeshState) updateSetter(obs *DeltaObservations, mi *meshIXP, setter bgp.ASN) {
+	f, ok := obs.Filter(mi.entry.Name, setter, mi.entry.Scheme)
+	slot, haveSlot := mi.slotOf[setter]
 	var s *meshSetter
 	if haveSlot {
 		s = mi.setters[slot]
@@ -193,9 +254,9 @@ func (ms *MeshState) updateSetter(obs *DeltaObservations, d DirtySetter) {
 	case s == nil || !s.covered:
 		if s == nil {
 			slot = len(mi.setters)
-			s = &meshSetter{asn: d.Setter}
+			s = &meshSetter{asn: setter}
 			mi.setters = append(mi.setters, s)
-			mi.slotOf[d.Setter] = slot
+			mi.slotOf[setter] = slot
 		}
 		ms.joinSetter(mi, slot, s, f)
 	default:
@@ -308,11 +369,29 @@ func (ms *MeshState) recheckPair(mi *meshIXP, slot int, s *meshSetter, j int, o 
 	}
 }
 
-// addLink attributes a live link to mi's IXP, maintaining the sorted
-// attribution list, the multi-IXP counter and the stability deltas.
+// addLink brings a link up at mi: the per-IXP link set changes
+// immediately (only the worker owning mi reads it), the global
+// attribution update is buffered for the ordered commit.
 func (ms *MeshState) addLink(mi *meshIXP, a, b bgp.ASN) {
 	key := topology.MakeLinkKey(a, b)
 	mi.links[key] = true
+	mi.events = append(mi.events, meshEvent{key: key, add: true})
+}
+
+// removeLink takes a link down at mi, buffering the global withdrawal.
+func (ms *MeshState) removeLink(mi *meshIXP, a, b bgp.ASN) {
+	key := topology.MakeLinkKey(a, b)
+	delete(mi.links, key)
+	mi.events = append(mi.events, meshEvent{key: key, add: false})
+}
+
+// commitAdd attributes a live link to mi's IXP, maintaining the sorted
+// attribution list, the multi-IXP counter and the stability deltas. The
+// first-touch changed entry is order-independent: whatever order the
+// per-link events replay in, the first touch of a key happens before
+// any event mutated its attribution, so it always records presence at
+// the last close.
+func (ms *MeshState) commitAdd(mi *meshIXP, key topology.LinkKey) {
 	names := ms.links[key]
 	if len(names) == 0 {
 		if _, seen := ms.changed[key]; !seen {
@@ -327,11 +406,9 @@ func (ms *MeshState) addLink(mi *meshIXP, a, b bgp.ASN) {
 	}
 }
 
-// removeLink withdraws mi's attribution of a link, dropping the link
+// commitRemove withdraws mi's attribution of a link, dropping the link
 // entirely when no IXP attributes it anymore.
-func (ms *MeshState) removeLink(mi *meshIXP, a, b bgp.ASN) {
-	key := topology.MakeLinkKey(a, b)
-	delete(mi.links, key)
+func (ms *MeshState) commitRemove(mi *meshIXP, key topology.LinkKey) {
 	names := ms.links[key]
 	i := sort.SearchStrings(names, mi.entry.Name)
 	names = slices.Delete(names, i, i+1)
@@ -378,16 +455,23 @@ func (ms *MeshState) CloseStability() float64 {
 // InferLinks over the same observation store: cloned link/attribution
 // maps, per-IXP filters and sources. The Members slices alias the
 // mesh's cached member lists; like every Result, snapshots are
-// read-only views.
-func (ms *MeshState) Snapshot() *Result {
+// read-only views. The clone fans out on up to workers goroutines —
+// one task per IXP plus one for the global link map, each writing
+// disjoint freshly-allocated state.
+func (ms *MeshState) Snapshot(workers int) *Result {
 	res := &Result{
 		PerIXP: make(map[string]*IXPInference, len(ms.dict.Entries)),
 		Links:  make(map[topology.LinkKey][]string, len(ms.links)),
 	}
-	for k, names := range ms.links {
-		res.Links[k] = slices.Clone(names)
-	}
-	for _, e := range ms.dict.Entries {
+	infs := make([]*IXPInference, len(ms.dict.Entries))
+	par.Run(workers, len(ms.dict.Entries)+1, func(t int) {
+		if t == 0 {
+			for k, names := range ms.links {
+				res.Links[k] = slices.Clone(names)
+			}
+			return
+		}
+		e := ms.dict.Entries[t-1]
 		mi := ms.byName[e.Name]
 		x := &IXPInference{
 			Name:    e.Name,
@@ -405,7 +489,10 @@ func (ms *MeshState) Snapshot() *Result {
 				x.Sources[s.asn] = ObsPassive
 			}
 		}
-		res.PerIXP[e.Name] = x
+		infs[t-1] = x
+	})
+	for i, e := range ms.dict.Entries {
+		res.PerIXP[e.Name] = infs[i]
 	}
 	return res
 }

@@ -68,6 +68,12 @@ type WindowOptions struct {
 	Count int
 	// Mode selects incremental (default) or re-mine derivation.
 	Mode WindowsMode
+	// Workers caps the worker pool the incremental miner fans out on at
+	// window close (sharded delta flush, per-IXP mesh re-checks, the
+	// relation oracle's Commit, snapshotting). 0 means GOMAXPROCS; 1
+	// forces the sequential path. Results are bit-identical for any
+	// value. Remine mode ignores it.
+	Workers int
 	// Stream, when non-nil, receives each window at close instead of
 	// accumulating it in PassiveWindowsResult.Windows — the long-horizon
 	// replay mode. In incremental mode a streamed window carries the
@@ -172,7 +178,7 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 	live := make(map[liveKey]liveRoute)
 	var miner *windowMiner
 	if opts.Mode == WindowsIncremental {
-		miner = newWindowMiner(dict, store, relation.NewIncremental(store))
+		miner = newWindowMiner(dict, store, relation.NewIncremental(store), opts.Workers)
 	}
 
 	// intern resolves an announced (path, communities) to its canonical
@@ -344,7 +350,7 @@ func remineLiveTable(store *paths.Store, live map[liveKey]liveRoute, dict *Dicti
 		return bgp.ComparePrefixes(keys[i].prefix, keys[j].prefix) < 0
 	})
 
-	m := newWindowMiner(dict, store, nil)
+	m := newWindowMiner(dict, store, nil, 1)
 	var kept []paths.ID
 	for _, k := range keys {
 		r := live[k]

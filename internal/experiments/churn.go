@@ -103,13 +103,15 @@ func BuildChurnTrace(cfg topology.Config, ccfg churn.Config) (*ChurnTrace, error
 }
 
 // Windows replays the trace through the windowed passive pipeline in
-// the given mode.
-func (ct *ChurnTrace) Windows(mode core.WindowsMode) (*core.PassiveWindowsResult, error) {
+// the given mode. workers sizes the close-time worker pool (0 means
+// GOMAXPROCS); results are bit-identical for any value.
+func (ct *ChurnTrace) Windows(mode core.WindowsMode, workers int) (*core.PassiveWindowsResult, error) {
 	return core.RunPassiveWindows(ct.Dumps, ct.Updates, ct.Dict, core.WindowOptions{
-		Start:  ct.Start,
-		Window: ct.Interval,
-		Count:  ct.Epochs,
-		Mode:   mode,
+		Start:   ct.Start,
+		Window:  ct.Interval,
+		Count:   ct.Epochs,
+		Mode:    mode,
+		Workers: workers,
 	})
 }
 
@@ -120,16 +122,17 @@ func (ct *ChurnTrace) Windows(mode core.WindowsMode) (*core.PassiveWindowsResult
 // overrides the number of windows when positive (windows past the last
 // update replay over the then-static live table), letting a fixed trace
 // drive an arbitrarily long horizon.
-func (ct *ChurnTrace) StreamWindows(mode core.WindowsMode, count int, fn func(*core.PassiveWindow)) error {
+func (ct *ChurnTrace) StreamWindows(mode core.WindowsMode, count, workers int, fn func(*core.PassiveWindow)) error {
 	if count <= 0 {
 		count = ct.Epochs
 	}
 	_, err := core.RunPassiveWindows(ct.Dumps, ct.Updates, ct.Dict, core.WindowOptions{
-		Start:  ct.Start,
-		Window: ct.Interval,
-		Count:  count,
-		Mode:   mode,
-		Stream: fn,
+		Start:   ct.Start,
+		Window:  ct.Interval,
+		Count:   count,
+		Mode:    mode,
+		Workers: workers,
+		Stream:  fn,
 	})
 	return err
 }
@@ -138,18 +141,19 @@ func (ct *ChurnTrace) StreamWindows(mode core.WindowsMode, count int, fn func(*c
 // window in the given mode (core.WindowsIncremental maintains the
 // observation store under announce/withdraw deltas; core.WindowsRemine
 // re-mines per window).
-func RunChurn(cfg topology.Config, ccfg churn.Config, mode core.WindowsMode) (*ChurnResult, error) {
+func RunChurn(cfg topology.Config, ccfg churn.Config, mode core.WindowsMode, workers int) (*ChurnResult, error) {
 	ct, err := BuildChurnTrace(cfg, ccfg)
 	if err != nil {
 		return nil, err
 	}
-	return ct.Run(mode)
+	return ct.Run(mode, workers)
 }
 
 // Run derives the churn experiment table from the trace in the given
-// mode.
-func (ct *ChurnTrace) Run(mode core.WindowsMode) (*ChurnResult, error) {
-	windows, err := ct.Windows(mode)
+// mode, fanning window closes out on workers goroutines (0 means
+// GOMAXPROCS).
+func (ct *ChurnTrace) Run(mode core.WindowsMode, workers int) (*ChurnResult, error) {
+	windows, err := ct.Windows(mode, workers)
 	if err != nil {
 		return nil, err
 	}

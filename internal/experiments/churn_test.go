@@ -16,7 +16,7 @@ func churnResultMode(t *testing.T, seed int64, cfg topology.Config, mode core.Wi
 	ccfg := churn.DefaultConfig(seed)
 	ccfg.Epochs = 3
 	ccfg.Interval = 10 * time.Minute
-	res, err := RunChurn(cfg, ccfg, mode)
+	res, err := RunChurn(cfg, ccfg, mode, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,10 +81,12 @@ func TestRunChurnDeterministic(t *testing.T) {
 }
 
 // assertModesEquivalent replays one churn trace through both windowed
-// modes and requires byte-identical per-window meshes plus identical
-// experiment rows (mesh size, relationship metrics, stability,
-// precision, recall): the end-to-end form of the tentpole's
-// byte-identity contract.
+// modes — the sequential incremental path, a 4-worker incremental run,
+// and the remine fallback — and requires byte-identical per-window
+// meshes plus identical experiment rows (mesh size, relationship
+// metrics, stability, precision, recall): the end-to-end form of the
+// tentpole's byte-identity contract, covering both the mode and the
+// worker-count axes.
 func assertModesEquivalent(t *testing.T, seed int64, cfg topology.Config) {
 	t.Helper()
 	ccfg := churn.DefaultConfig(seed)
@@ -95,25 +97,35 @@ func assertModesEquivalent(t *testing.T, seed int64, cfg topology.Config) {
 		t.Fatal(err)
 	}
 
-	incW, err := ct.Windows(core.WindowsIncremental)
+	incW, err := ct.Windows(core.WindowsIncremental, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	remW, err := ct.Windows(core.WindowsRemine)
+	parW, err := ct.Windows(core.WindowsIncremental, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(incW.Windows) != len(remW.Windows) {
-		t.Fatalf("window counts diverge: %d vs %d", len(incW.Windows), len(remW.Windows))
+	remW, err := ct.Windows(core.WindowsRemine, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incW.Windows) != len(remW.Windows) || len(parW.Windows) != len(incW.Windows) {
+		t.Fatalf("window counts diverge: %d sequential vs %d parallel vs %d remine",
+			len(incW.Windows), len(parW.Windows), len(remW.Windows))
 	}
 	var a, b []byte
 	for i := range incW.Windows {
-		wi, wr := &incW.Windows[i], &remW.Windows[i]
+		wi, wp, wr := &incW.Windows[i], &parW.Windows[i], &remW.Windows[i]
 		a = wi.Result.AppendMesh(a[:0])
 		b = wr.Result.AppendMesh(b[:0])
 		if !bytes.Equal(a, b) {
 			t.Fatalf("window %d: meshes diverge between modes (%d vs %d links)",
 				i, wi.Result.TotalLinks(), wr.Result.TotalLinks())
+		}
+		b = wp.Result.AppendMesh(b[:0])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("window %d: meshes diverge between worker counts (%d vs %d links)",
+				i, wi.Result.TotalLinks(), wp.Result.TotalLinks())
 		}
 		if wi.LiveRoutes != wr.LiveRoutes || wi.Dropped != wr.Dropped ||
 			wi.RelLinks != wr.RelLinks || wi.P2PRels != wr.P2PRels ||
@@ -121,6 +133,11 @@ func assertModesEquivalent(t *testing.T, seed int64, cfg topology.Config) {
 			wi.WithdrawnOnlyUpdates != wr.WithdrawnOnlyUpdates ||
 			incW.Stability[i] != remW.Stability[i] {
 			t.Fatalf("window %d: counters diverge between modes", i)
+		}
+		if wi.LiveRoutes != wp.LiveRoutes || wi.Dropped != wp.Dropped ||
+			wi.RelLinks != wp.RelLinks || wi.P2PRels != wp.P2PRels ||
+			wi.MeshLinks != wp.MeshLinks || incW.Stability[i] != parW.Stability[i] {
+			t.Fatalf("window %d: counters diverge between worker counts", i)
 		}
 	}
 }

@@ -3,21 +3,54 @@
 // between adjacent windows only a handful of distinct AS paths enter or
 // leave the live table. Incremental maintains the batch algorithm's
 // aggregates — adjacency, transit-neighbor counts, per-pair orientation
-// votes — as refcounted counters updated by AddPath/RemovePath, and
-// re-derives only what the deltas invalidated at Commit: the greedy
-// clique (cheap, O(ASes log ASes)) and the vote contributions of paths
-// whose hops changed transit degree or clique membership. Relationship
-// labels are resolved on demand from the maintained counters through
-// the same resolveRel the batch Infer uses, so an Incremental that saw
-// AddPath for exactly the live path set answers every query identically
-// to a fresh Infer over that set.
+// votes — as refcounted counters, and re-derives only what the window's
+// deltas invalidated at Commit: the greedy clique (cheap, O(ASes log
+// ASes)) and the vote contributions of paths whose hops changed transit
+// degree or clique membership. Relationship labels are resolved on
+// demand from the maintained counters through the same resolveRel the
+// batch Infer uses, so an Incremental that saw AddPath for exactly the
+// live path set answers every query identically to a fresh Infer over
+// that set.
+//
+// The counters are split across a fixed number of shards — link-keyed
+// state (adjacency, votes, touched set, p2p labels) by link-key hash,
+// AS-keyed state (transit pairs, degrees, path index) by ASN hash — so
+// Commit can fan its work out on a pool: AddPath/RemovePath only queue
+// the transition, and Commit nets the queue, buckets the resulting
+// micro-ops per shard in queue order, and applies every shard's bucket
+// concurrently. The shard count is a constant, shard assignment is a
+// pure hash, and each shard replays its ops in the sequentially
+// determined order, so the committed state is bit-identical for any
+// worker count — the same discipline as the generator's parallel
+// stages. Pure per-path re-votes fan out the same way and merge through
+// ordered buckets.
 package relation
 
 import (
+	"slices"
+
 	"mlpeering/internal/bgp"
+	"mlpeering/internal/par"
 	"mlpeering/internal/paths"
 	"mlpeering/internal/topology"
 )
+
+// relShardCount fixes how many shards split the link- and AS-keyed
+// state. It is a constant independent of the worker count, so shard
+// assignment — and with it every per-shard op order — never varies
+// with parallelism.
+const relShardCount = 32
+
+// linkShardOf hashes an unordered pair key to its shard.
+func linkShardOf(key topology.LinkKey) int {
+	h := uint32(key.A)*0x9E3779B1 ^ uint32(key.B)*0x85EBCA6B
+	return int(h >> 27)
+}
+
+// asShardOf hashes an AS to its shard.
+func asShardOf(a bgp.ASN) int {
+	return int(uint32(a) * 0x9E3779B1 >> 27)
+}
 
 // transitPair identifies one (interior AS, neighbor) adjacency used for
 // transit-degree accounting.
@@ -31,172 +64,334 @@ type voteEdge struct {
 	customer bgp.ASN
 }
 
-// Incremental is a delta-maintained relationship inference over the
-// distinct paths of an interned store. AddPath/RemovePath apply
-// structural deltas immediately; Commit re-derives the clique and
-// re-votes invalidated paths. Queries are only valid after a Commit
-// with no later Add/Remove. Not safe for concurrent use.
-type Incremental struct {
-	store *paths.Store
-
-	adj     map[topology.LinkKey]int // refcount: paths containing the edge
-	transit map[transitPair]int      // refcount: paths where mid transits for nbr
-	degree  map[bgp.ASN]int          // distinct transit neighbors (len of live pairs)
-	votes   map[topology.LinkKey]*vote
-
-	// touchedLinks collects the links whose label inputs (votes,
-	// endpoint degree, clique membership, adjacency) may have moved
-	// since the last Commit; p2pSet holds the links labelled p2p as of
-	// that Commit. Together they maintain P2PCount as a delta counter:
-	// Commit relabels only the touched links instead of iterating the
-	// whole link set.
-	touchedLinks map[topology.LinkKey]bool
-	p2pSet       map[topology.LinkKey]bool
-
-	pathVotes map[paths.ID][]voteEdge       // cached contribution of each voted path
-	pathsByAS map[bgp.ASN]map[paths.ID]bool // hop -> live paths (vote invalidation index)
-	pending   map[paths.ID]bool             // added since last Commit, not yet voted
-	touched   map[bgp.ASN]int               // AS -> degree at first touch since last Commit
-
-	clique    []bgp.ASN
-	cliqueSet map[bgp.ASN]bool
-
-	revoteScratch map[paths.ID]bool
+// pathDelta is one queued AddPath/RemovePath transition.
+type pathDelta struct {
+	id    paths.ID
+	delta int
 }
 
-// NewIncremental returns an empty incremental inference over store.
-func NewIncremental(store *paths.Store) *Incremental {
-	return &Incremental{
-		store:         store,
-		adj:           make(map[topology.LinkKey]int),
-		transit:       make(map[transitPair]int),
-		degree:        make(map[bgp.ASN]int),
-		votes:         make(map[topology.LinkKey]*vote),
-		pathVotes:     make(map[paths.ID][]voteEdge),
-		pathsByAS:     make(map[bgp.ASN]map[paths.ID]bool),
-		pending:       make(map[paths.ID]bool),
-		touched:       make(map[bgp.ASN]int),
-		cliqueSet:     make(map[bgp.ASN]bool),
-		revoteScratch: make(map[paths.ID]bool),
-		touchedLinks:  make(map[topology.LinkKey]bool),
-		p2pSet:        make(map[topology.LinkKey]bool),
+// adjOp is one refcount move of a link's adjacency counter.
+type adjOp struct {
+	key   topology.LinkKey
+	delta int
+}
+
+// voteOp is one orientation-vote move for a link.
+type voteOp struct {
+	key      topology.LinkKey
+	customer bgp.ASN
+	delta    int
+}
+
+// transOp is one refcount move of a (mid, nbr) transit pair; mid's
+// degree moves with the pair's 0↔1 transitions.
+type transOp struct {
+	mid, nbr bgp.ASN
+	delta    int
+}
+
+// byASOp is one membership move of the hop -> live-paths index.
+type byASOp struct {
+	asn bgp.ASN
+	id  paths.ID
+	add bool
+}
+
+// linkShard owns every link whose key hashes to it: the adjacency
+// refcounts, the orientation votes, the set of links touched since the
+// last reconcile and the p2p label set. ops buffers are filled
+// sequentially in deterministic order and drained by the shard's owner
+// during a parallel phase.
+type linkShard struct {
+	adj     map[topology.LinkKey]int // refcount: paths containing the edge
+	votes   map[topology.LinkKey]*vote
+	touched map[topology.LinkKey]bool
+	p2p     map[topology.LinkKey]bool
+
+	adjOps  []adjOp
+	voteOps []voteOp
+}
+
+// applyAdj replays the buffered adjacency refcount moves in order.
+func (sh *linkShard) applyAdj() {
+	for _, op := range sh.adjOps {
+		if c := sh.adj[op.key] + op.delta; c == 0 {
+			delete(sh.adj, op.key)
+		} else {
+			sh.adj[op.key] = c
+		}
 	}
+	sh.adjOps = sh.adjOps[:0]
+}
+
+// applyVotes replays the buffered vote moves in order, marking every
+// moved link touched so the reconcile pass relabels it.
+func (sh *linkShard) applyVotes() {
+	for _, op := range sh.voteOps {
+		v := sh.votes[op.key]
+		if v == nil {
+			v = &vote{}
+			sh.votes[op.key] = v
+		}
+		v.add(op.key, op.customer, op.delta)
+		if v.empty() {
+			delete(sh.votes, op.key)
+		}
+		sh.touched[op.key] = true
+	}
+	sh.voteOps = sh.voteOps[:0]
+}
+
+// asShard owns every AS whose number hashes to it: transit-pair
+// refcounts, the derived transit degrees, the pre-delta degree recorded
+// at first touch per Commit, and the hop -> live-paths invalidation
+// index.
+type asShard struct {
+	transit    map[transitPair]int // refcount: paths where mid transits for nbr
+	degree     map[bgp.ASN]int     // distinct transit neighbors (len of live pairs)
+	touchedDeg map[bgp.ASN]int     // AS -> degree at first touch since last Commit
+	pathsByAS  map[bgp.ASN]map[paths.ID]bool
+
+	transOps []transOp
+	byASOps  []byASOp
 }
 
 // touchDegree records a's pre-delta degree the first time it moves
 // inside a Commit cycle, so Commit can tell real changes from churn
 // that cancelled out.
-func (inc *Incremental) touchDegree(a bgp.ASN) {
-	if _, ok := inc.touched[a]; !ok {
-		inc.touched[a] = inc.degree[a]
+func (sh *asShard) touchDegree(a bgp.ASN) {
+	if _, ok := sh.touchedDeg[a]; !ok {
+		sh.touchedDeg[a] = sh.degree[a]
 	}
 }
 
-// AddPath registers one distinct path as live: adjacency and transit
-// counts move immediately, voting is deferred to Commit (votes depend
-// on the post-delta clique and degrees).
-func (inc *Incremental) AddPath(id paths.ID) {
-	path := dedupAdjacent(inc.store.Path(id))
-	for i := 0; i+1 < len(path); i++ {
-		inc.adj[topology.MakeLinkKey(path[i], path[i+1])]++
-	}
-	for i := 1; i+1 < len(path); i++ {
-		for _, nbr := range [2]bgp.ASN{path[i-1], path[i+1]} {
-			p := transitPair{path[i], nbr}
-			inc.transit[p]++
-			if inc.transit[p] == 1 {
-				inc.touchDegree(path[i])
-				inc.degree[path[i]]++
+// applyOps replays the buffered transit and path-index moves in order.
+func (sh *asShard) applyOps() {
+	for _, op := range sh.transOps {
+		p := transitPair{op.mid, op.nbr}
+		if op.delta > 0 {
+			sh.transit[p]++
+			if sh.transit[p] == 1 {
+				sh.touchDegree(op.mid)
+				sh.degree[op.mid]++
+			}
+		} else if sh.transit[p]--; sh.transit[p] == 0 {
+			delete(sh.transit, p)
+			sh.touchDegree(op.mid)
+			if sh.degree[op.mid]--; sh.degree[op.mid] == 0 {
+				delete(sh.degree, op.mid)
 			}
 		}
 	}
-	for _, a := range path {
-		m := inc.pathsByAS[a]
-		if m == nil {
-			m = make(map[paths.ID]bool)
-			inc.pathsByAS[a] = m
-		}
-		m[id] = true
-	}
-	inc.pending[id] = true
-}
-
-// RemovePath unregisters a live path, rolling back its structural
-// counts and any cached vote contribution.
-func (inc *Incremental) RemovePath(id paths.ID) {
-	path := dedupAdjacent(inc.store.Path(id))
-	for i := 0; i+1 < len(path); i++ {
-		key := topology.MakeLinkKey(path[i], path[i+1])
-		if inc.adj[key]--; inc.adj[key] == 0 {
-			delete(inc.adj, key)
-		}
-	}
-	for i := 1; i+1 < len(path); i++ {
-		for _, nbr := range [2]bgp.ASN{path[i-1], path[i+1]} {
-			p := transitPair{path[i], nbr}
-			if inc.transit[p]--; inc.transit[p] == 0 {
-				delete(inc.transit, p)
-				inc.touchDegree(path[i])
-				if inc.degree[path[i]]--; inc.degree[path[i]] == 0 {
-					delete(inc.degree, path[i])
-				}
+	sh.transOps = sh.transOps[:0]
+	for _, op := range sh.byASOps {
+		m := sh.pathsByAS[op.asn]
+		if op.add {
+			if m == nil {
+				m = make(map[paths.ID]bool)
+				sh.pathsByAS[op.asn] = m
 			}
-		}
-	}
-	for _, a := range path {
-		if m := inc.pathsByAS[a]; m != nil {
-			delete(m, id)
+			m[op.id] = true
+		} else if m != nil {
+			delete(m, op.id)
 			if len(m) == 0 {
-				delete(inc.pathsByAS, a)
+				delete(sh.pathsByAS, op.asn)
 			}
 		}
 	}
-	delete(inc.pending, id)
-	inc.subtractVotes(id)
+	sh.byASOps = sh.byASOps[:0]
 }
 
-// subtractVotes rolls back id's cached vote contribution. Every edge
-// whose vote moves is marked touched so the next Commit relabels it.
-func (inc *Incremental) subtractVotes(id paths.ID) {
-	for _, e := range inc.pathVotes[id] {
-		v := inc.votes[e.key]
-		v.add(e.key, e.customer, -1)
-		if v.empty() {
-			delete(inc.votes, e.key)
-		}
-		inc.touchedLinks[e.key] = true
+// Incremental is a delta-maintained relationship inference over the
+// distinct paths of an interned store. AddPath/RemovePath queue
+// structural deltas; Commit nets and applies them, re-derives the
+// clique and re-votes invalidated paths on up to Workers goroutines.
+// Queries are only valid after a Commit with no later Add/Remove, and
+// answer from the last committed state. Not safe for concurrent use.
+type Incremental struct {
+	store *paths.Store
+
+	// Workers caps the Commit worker pool; 0 means GOMAXPROCS. The
+	// committed state is bit-identical for any value.
+	Workers int
+
+	links [relShardCount]linkShard
+	byAS  [relShardCount]asShard
+
+	pathVotes map[paths.ID][]voteEdge // cached contribution of each voted path
+	queue     []pathDelta             // transitions since the last Commit
+
+	clique    []bgp.ASN
+	cliqueSet map[bgp.ASN]bool
+
+	// Commit scratch.
+	net           map[paths.ID]int
+	netOrder      []paths.ID
+	revoteScratch map[paths.ID]bool
+	revoteIDs     []paths.ID
+	voteScratch   [][]voteEdge
+	candScratch   []bgp.ASN
+}
+
+// NewIncremental returns an empty incremental inference over store.
+func NewIncremental(store *paths.Store) *Incremental {
+	inc := &Incremental{
+		store:         store,
+		pathVotes:     make(map[paths.ID][]voteEdge),
+		cliqueSet:     make(map[bgp.ASN]bool),
+		net:           make(map[paths.ID]int),
+		revoteScratch: make(map[paths.ID]bool),
 	}
-	delete(inc.pathVotes, id)
+	for s := range inc.links {
+		inc.links[s] = linkShard{
+			adj:     make(map[topology.LinkKey]int),
+			votes:   make(map[topology.LinkKey]*vote),
+			touched: make(map[topology.LinkKey]bool),
+			p2p:     make(map[topology.LinkKey]bool),
+		}
+		inc.byAS[s] = asShard{
+			transit:    make(map[transitPair]int),
+			degree:     make(map[bgp.ASN]int),
+			touchedDeg: make(map[bgp.ASN]int),
+			pathsByAS:  make(map[bgp.ASN]map[paths.ID]bool),
+		}
+	}
+	return inc
 }
 
-// Commit re-derives the clique from the maintained degrees and re-votes
-// every path the deltas invalidated: paths added since the last Commit,
-// plus live paths containing an AS whose transit degree or clique
-// membership changed. After Commit, queries answer exactly as a batch
-// Infer over the current live path set.
+// degreeOf reads an AS's transit degree across the shards.
+func (inc *Incremental) degreeOf(a bgp.ASN) int {
+	return inc.byAS[asShardOf(a)].degree[a]
+}
+
+// adjCount reads a link's adjacency refcount across the shards.
+func (inc *Incremental) adjCount(key topology.LinkKey) int {
+	return inc.links[linkShardOf(key)].adj[key]
+}
+
+// AddPath registers one distinct path as live. The transition is only
+// queued: counters move at the next Commit, and queries keep answering
+// from the last committed state until then.
+func (inc *Incremental) AddPath(id paths.ID) {
+	inc.queue = append(inc.queue, pathDelta{id: id, delta: 1})
+}
+
+// RemovePath unregisters a live path; like AddPath, the rollback is
+// deferred to the next Commit.
+func (inc *Incremental) RemovePath(id paths.ID) {
+	inc.queue = append(inc.queue, pathDelta{id: id, delta: -1})
+}
+
+// Commit applies the queued path transitions and re-derives everything
+// they invalidated, in five ordered phases: (1) net the queue — a path
+// that flapped in and out contributes nothing; (2) bucket structural
+// micro-ops per shard in queue order and apply every shard's bucket
+// concurrently; (3) re-derive the clique from the merged degrees
+// (sequential — its greedy scan is inherently ordered); (4) re-vote
+// invalidated paths — pure per-path vote computation fans out over the
+// sorted id list, the resulting vote moves bucket sequentially and
+// apply concurrently per link shard; (5) relabel the touched links per
+// shard. Sequential phases fix every order the parallel phases replay,
+// so the committed state is identical for any worker count. After
+// Commit, queries answer exactly as a batch Infer over the live set.
 func (inc *Incremental) Commit() {
-	newClique := greedyClique(inc.degree, func(a, b bgp.ASN) bool {
-		return inc.adj[topology.MakeLinkKey(a, b)] > 0
+	workers := par.Workers(inc.Workers)
+
+	// Phase 1: net the queued transitions per path id, keeping
+	// first-touch order for deterministic bucketing.
+	for _, d := range inc.queue {
+		if _, ok := inc.net[d.id]; !ok {
+			inc.netOrder = append(inc.netOrder, d.id)
+		}
+		inc.net[d.id] += d.delta
+	}
+	inc.queue = inc.queue[:0]
+
+	revote := inc.revoteScratch
+	clear(revote)
+
+	// Phase 2a: bucket structural micro-ops by shard, in netted queue
+	// order. Removed paths also queue the subtraction of their cached
+	// vote contribution.
+	for _, id := range inc.netOrder {
+		delta := inc.net[id]
+		if delta == 0 {
+			continue
+		}
+		path := dedupAdjacent(inc.store.Path(id))
+		for i := 0; i+1 < len(path); i++ {
+			key := topology.MakeLinkKey(path[i], path[i+1])
+			sh := &inc.links[linkShardOf(key)]
+			sh.adjOps = append(sh.adjOps, adjOp{key: key, delta: delta})
+		}
+		for i := 1; i+1 < len(path); i++ {
+			sh := &inc.byAS[asShardOf(path[i])]
+			sh.transOps = append(sh.transOps,
+				transOp{mid: path[i], nbr: path[i-1], delta: delta},
+				transOp{mid: path[i], nbr: path[i+1], delta: delta})
+		}
+		for _, a := range path {
+			sh := &inc.byAS[asShardOf(a)]
+			sh.byASOps = append(sh.byASOps, byASOp{asn: a, id: id, add: delta > 0})
+		}
+		if delta > 0 {
+			revote[id] = true
+		} else {
+			for _, e := range inc.pathVotes[id] {
+				sh := &inc.links[linkShardOf(e.key)]
+				sh.voteOps = append(sh.voteOps, voteOp{key: e.key, customer: e.customer, delta: -1})
+			}
+			delete(inc.pathVotes, id)
+		}
+	}
+	clear(inc.net)
+	inc.netOrder = inc.netOrder[:0]
+
+	// Phase 2b: apply every shard's structural bucket concurrently.
+	// Shards are disjoint and each replays its own deterministic order.
+	par.Run(workers, 2*relShardCount, func(t int) {
+		if t < relShardCount {
+			inc.links[t].applyAdj()
+			inc.links[t].applyVotes()
+		} else {
+			inc.byAS[t-relShardCount].applyOps()
+		}
 	})
+
+	// Phase 3: re-derive the clique from the merged candidate set. The
+	// greedy scan totally orders candidates by (degree desc, ASN asc),
+	// so the shard collection order is irrelevant.
+	cands := inc.candScratch[:0]
+	for s := range inc.byAS {
+		for a := range inc.byAS[s].degree {
+			cands = append(cands, a)
+		}
+	}
+	newClique := greedyCliqueFrom(cands, inc.degreeOf, func(a, b bgp.ASN) bool {
+		return inc.adjCount(topology.MakeLinkKey(a, b)) > 0
+	})
+	inc.candScratch = cands[:0]
 	newSet := make(map[bgp.ASN]bool, len(newClique))
 	for _, a := range newClique {
 		newSet[a] = true
 	}
 
-	revote := inc.revoteScratch
-	clear(revote)
-	for id := range inc.pending {
-		revote[id] = true
-	}
+	// Phase 4a: build the revote set — pending adds, live paths through
+	// an AS whose degree actually changed, and live paths through a
+	// clique-membership flip — then sort it into a total order.
 	invalidate := func(a bgp.ASN) {
-		for id := range inc.pathsByAS[a] {
+		for id := range inc.byAS[asShardOf(a)].pathsByAS[a] {
 			revote[id] = true
 		}
 	}
-	for a, old := range inc.touched {
-		if inc.degree[a] != old {
-			invalidate(a)
+	for s := range inc.byAS {
+		sh := &inc.byAS[s]
+		for a, old := range sh.touchedDeg {
+			if sh.degree[a] != old {
+				invalidate(a)
+			}
 		}
+		clear(sh.touchedDeg)
 	}
 	for _, a := range inc.clique {
 		if !newSet[a] {
@@ -208,55 +403,81 @@ func (inc *Incremental) Commit() {
 			invalidate(a)
 		}
 	}
-
 	inc.clique, inc.cliqueSet = newClique, newSet
+
+	ids := inc.revoteIDs[:0]
 	for id := range revote {
-		inc.subtractVotes(id)
-		path := dedupAdjacent(inc.store.Path(id))
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	inc.revoteIDs = ids[:0]
+
+	// Phase 4b: recompute every revoted path's vote edges — a pure
+	// function of the path, the new clique and the settled degrees —
+	// on the pool.
+	if cap(inc.voteScratch) < len(ids) {
+		inc.voteScratch = make([][]voteEdge, len(ids))
+	}
+	edgesOf := inc.voteScratch[:len(ids)]
+	par.Run(workers, len(ids), func(i int) {
+		path := dedupAdjacent(inc.store.Path(ids[i]))
 		var edges []voteEdge
-		emitPathVotes(path, inc.cliqueSet, inc.degree, func(customer, provider bgp.ASN) {
-			key := topology.MakeLinkKey(customer, provider)
-			v := inc.votes[key]
-			if v == nil {
-				v = &vote{}
-				inc.votes[key] = v
-			}
-			v.add(key, customer, 1)
-			inc.touchedLinks[key] = true
-			edges = append(edges, voteEdge{key: key, customer: customer})
+		emitPathVotes(path, inc.cliqueSet, inc.degreeOf, func(customer, provider bgp.ASN) {
+			edges = append(edges, voteEdge{key: topology.MakeLinkKey(customer, provider), customer: customer})
 		})
+		edgesOf[i] = edges
+	})
+
+	// Phase 4c: bucket the vote moves sequentially in sorted-id order —
+	// old contribution out, new contribution in — and apply per shard.
+	for i, id := range ids {
+		for _, e := range inc.pathVotes[id] {
+			sh := &inc.links[linkShardOf(e.key)]
+			sh.voteOps = append(sh.voteOps, voteOp{key: e.key, customer: e.customer, delta: -1})
+		}
+		edges := edgesOf[i]
+		for _, e := range edges {
+			sh := &inc.links[linkShardOf(e.key)]
+			sh.voteOps = append(sh.voteOps, voteOp{key: e.key, customer: e.customer, delta: 1})
+		}
 		if len(edges) > 0 {
 			inc.pathVotes[id] = edges
+		} else {
+			delete(inc.pathVotes, id)
 		}
+		edgesOf[i] = nil
 	}
-	clear(inc.pending)
-	clear(inc.touched)
 
-	// Reconcile the p2p counter: every link whose label inputs moved —
-	// vote deltas directly, endpoint degree or clique flips through the
-	// re-vote of every live path containing the flipped AS — is in
-	// touchedLinks; relabel exactly those. Links never touched kept
+	// Phase 5: apply the vote moves and reconcile the p2p labels per
+	// link shard. Every link whose label inputs moved — vote deltas
+	// directly, endpoint degree or clique flips through the re-vote of
+	// every live path containing the flipped AS — is in the shard's
+	// touched set; relabel exactly those. Links never touched kept
 	// their votes, degrees and clique context, so their label is
 	// unchanged by construction.
-	for key := range inc.touchedLinks {
-		p2p := inc.adj[key] > 0 && resolveRel(key, inc.votes[key], inc.cliqueSet, inc.degree) == RelP2P
-		if p2p {
-			inc.p2pSet[key] = true
-		} else {
-			delete(inc.p2pSet, key)
+	par.Run(workers, relShardCount, func(s int) {
+		sh := &inc.links[s]
+		sh.applyVotes()
+		for key := range sh.touched {
+			if sh.adj[key] > 0 && resolveRel(key, sh.votes[key], inc.cliqueSet, inc.degreeOf) == RelP2P {
+				sh.p2p[key] = true
+			} else {
+				delete(sh.p2p, key)
+			}
 		}
-	}
-	clear(inc.touchedLinks)
+		clear(sh.touched)
+	})
 }
 
 // Relationship returns the pair's relationship from a's perspective,
 // resolved on demand from the maintained counters.
 func (inc *Incremental) Relationship(a, b bgp.ASN) Rel {
 	key := topology.MakeLinkKey(a, b)
-	if inc.adj[key] == 0 {
+	sh := &inc.links[linkShardOf(key)]
+	if sh.adj[key] == 0 {
 		return RelUnknown
 	}
-	r := resolveRel(key, inc.votes[key], inc.cliqueSet, inc.degree)
+	r := resolveRel(key, sh.votes[key], inc.cliqueSet, inc.degreeOf)
 	if a == key.A {
 		return r
 	}
@@ -271,20 +492,35 @@ func (inc *Incremental) Relationship(a, b bgp.ASN) Rel {
 }
 
 // LinkCount returns the number of inferred links (adjacent pairs).
-func (inc *Incremental) LinkCount() int { return len(inc.adj) }
+func (inc *Incremental) LinkCount() int {
+	n := 0
+	for s := range inc.links {
+		n += len(inc.links[s].adj)
+	}
+	return n
+}
 
 // P2PCount returns the number of p2p-labelled links, maintained as a
 // delta counter: Commit relabels only the links its deltas touched.
 // Like every query, it is only valid after a Commit with no later
 // AddPath/RemovePath.
-func (inc *Incremental) P2PCount() int { return len(inc.p2pSet) }
+func (inc *Incremental) P2PCount() int {
+	n := 0
+	for s := range inc.links {
+		n += len(inc.links[s].p2p)
+	}
+	return n
+}
 
 // ForEachLink calls fn for every inferred link until fn returns false,
 // resolving each label on demand. Iteration order is undefined.
 func (inc *Incremental) ForEachLink(fn func(topology.LinkKey, Rel) bool) {
-	for key := range inc.adj {
-		if !fn(key, resolveRel(key, inc.votes[key], inc.cliqueSet, inc.degree)) {
-			return
+	for s := range inc.links {
+		sh := &inc.links[s]
+		for key := range sh.adj {
+			if !fn(key, resolveRel(key, sh.votes[key], inc.cliqueSet, inc.degreeOf)) {
+				return
+			}
 		}
 	}
 }
@@ -292,4 +528,38 @@ func (inc *Incremental) ForEachLink(fn func(topology.LinkKey, Rel) bool) {
 // Clique returns the current transit-free clique.
 func (inc *Incremental) Clique() []bgp.ASN {
 	return append([]bgp.ASN(nil), inc.clique...)
+}
+
+// voteCount, transitCount, degreeCount and touchedCount sum the sharded
+// maps; they exist for the drain assertions in tests.
+func (inc *Incremental) voteCount() int {
+	n := 0
+	for s := range inc.links {
+		n += len(inc.links[s].votes)
+	}
+	return n
+}
+
+func (inc *Incremental) transitCount() int {
+	n := 0
+	for s := range inc.byAS {
+		n += len(inc.byAS[s].transit)
+	}
+	return n
+}
+
+func (inc *Incremental) degreeCount() int {
+	n := 0
+	for s := range inc.byAS {
+		n += len(inc.byAS[s].degree)
+	}
+	return n
+}
+
+func (inc *Incremental) touchedCount() int {
+	n := 0
+	for s := range inc.links {
+		n += len(inc.links[s].touched)
+	}
+	return n
 }

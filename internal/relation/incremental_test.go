@@ -132,13 +132,13 @@ func TestIncrementalMatchesBatch(t *testing.T) {
 	}
 	inc.Commit()
 	assertOracleEquivalence(t, 999, store, live, inc)
-	if inc.LinkCount() != 0 || len(inc.votes) != 0 || len(inc.transit) != 0 || len(inc.degree) != 0 {
+	if inc.LinkCount() != 0 || inc.voteCount() != 0 || inc.transitCount() != 0 || inc.degreeCount() != 0 {
 		t.Fatalf("drained oracle retains state: %d links, %d votes, %d transit, %d degrees",
-			inc.LinkCount(), len(inc.votes), len(inc.transit), len(inc.degree))
+			inc.LinkCount(), inc.voteCount(), inc.transitCount(), inc.degreeCount())
 	}
-	if inc.P2PCount() != 0 || len(inc.touchedLinks) != 0 {
+	if inc.P2PCount() != 0 || inc.touchedCount() != 0 {
 		t.Fatalf("drained oracle retains p2p state: %d p2p, %d touched",
-			inc.P2PCount(), len(inc.touchedLinks))
+			inc.P2PCount(), inc.touchedCount())
 	}
 }
 

@@ -226,6 +226,7 @@ func Infer(v paths.View) *Inference {
 	}
 
 	// Pass 2: vote c2p orientations around each path's peak.
+	deg := func(a bgp.ASN) int { return inf.transitDegree[a] }
 	votes := make(map[topology.LinkKey]*vote)
 	addVote := func(customer, provider bgp.ASN) {
 		key := topology.MakeLinkKey(customer, provider)
@@ -238,7 +239,7 @@ func Infer(v paths.View) *Inference {
 	}
 	for pi := 0; pi < v.Len(); pi++ {
 		path := dedupAdjacent(v.Path(pi))
-		emitPathVotes(path, cliqueSet, inf.transitDegree, addVote)
+		emitPathVotes(path, cliqueSet, deg, addVote)
 	}
 
 	// Pass 3: resolve votes (clique pairs are p2p by construction) and
@@ -246,7 +247,7 @@ func Infer(v paths.View) *Inference {
 	// ASes into p2p — both folded into resolveRel, which is shared with
 	// the incremental oracle.
 	for key := range adjacent {
-		inf.rels[key] = resolveRel(key, votes[key], cliqueSet, inf.transitDegree)
+		inf.rels[key] = resolveRel(key, votes[key], cliqueSet, deg)
 	}
 
 	// Customer lists.
@@ -280,25 +281,33 @@ func (v *vote) add(key topology.LinkKey, customer bgp.ASN, n int) {
 
 func (v *vote) empty() bool { return v.ab == 0 && v.ba == 0 }
 
-// greedyClique grows the transit-free clique from the highest transit
-// degrees: candidates sorted by (degree desc, ASN asc), each admitted
-// when adjacent to every member already chosen, scanning until the
-// clique reaches cliqueScan members. Deterministic for a given degree
-// map and adjacency predicate.
+// greedyClique grows the transit-free clique from a degree map; it
+// wraps greedyCliqueFrom for the batch pass, which holds its degrees in
+// a plain map.
 func greedyClique(degree map[bgp.ASN]int, adjacent func(a, b bgp.ASN) bool) []bgp.ASN {
-	byDegree := make([]bgp.ASN, 0, len(degree))
+	cands := make([]bgp.ASN, 0, len(degree))
 	for a := range degree {
-		byDegree = append(byDegree, a)
+		cands = append(cands, a)
 	}
-	sort.Slice(byDegree, func(i, j int) bool {
-		if degree[byDegree[i]] != degree[byDegree[j]] {
-			return degree[byDegree[i]] > degree[byDegree[j]]
+	return greedyCliqueFrom(cands, func(a bgp.ASN) int { return degree[a] }, adjacent)
+}
+
+// greedyCliqueFrom grows the transit-free clique from the highest
+// transit degrees: candidates sorted in place by (degree desc, ASN
+// asc), each admitted when adjacent to every member already chosen,
+// scanning until the clique reaches cliqueScan members. The sort is a
+// total order, so the result is deterministic for any candidate
+// collection order.
+func greedyCliqueFrom(cands []bgp.ASN, degree func(bgp.ASN) int, adjacent func(a, b bgp.ASN) bool) []bgp.ASN {
+	sort.Slice(cands, func(i, j int) bool {
+		if degree(cands[i]) != degree(cands[j]) {
+			return degree(cands[i]) > degree(cands[j])
 		}
-		return byDegree[i] < byDegree[j]
+		return cands[i] < cands[j]
 	})
 	const cliqueScan = 24
 	var clique []bgp.ASN
-	for _, cand := range byDegree {
+	for _, cand := range cands {
 		if len(clique) >= cliqueScan {
 			break
 		}
@@ -319,7 +328,7 @@ func greedyClique(degree map[bgp.ASN]int, adjacent func(a, b bgp.ASN) bool) []bg
 // pathPeak locates the path's "peak": the first clique member, or
 // failing that the hop with the highest transit degree (first wins
 // ties).
-func pathPeak(path []bgp.ASN, cliqueSet map[bgp.ASN]bool, degree map[bgp.ASN]int) int {
+func pathPeak(path []bgp.ASN, cliqueSet map[bgp.ASN]bool, degree func(bgp.ASN) int) int {
 	peak := 0
 	for i := 1; i < len(path); i++ {
 		if cliqueSet[path[i]] && !cliqueSet[path[peak]] {
@@ -329,7 +338,7 @@ func pathPeak(path []bgp.ASN, cliqueSet map[bgp.ASN]bool, degree map[bgp.ASN]int
 		if cliqueSet[path[peak]] && !cliqueSet[path[i]] {
 			continue
 		}
-		if degree[path[i]] > degree[path[peak]] {
+		if degree(path[i]) > degree(path[peak]) {
 			peak = i
 		}
 	}
@@ -341,7 +350,7 @@ func pathPeak(path []bgp.ASN, cliqueSet map[bgp.ASN]bool, degree map[bgp.ASN]int
 // traffic flows origin -> collector: links between the peak and the
 // collector flow down (the collector-side AS is the customer), links on
 // the origin side are announced customer -> provider left-ward.
-func emitPathVotes(path []bgp.ASN, cliqueSet map[bgp.ASN]bool, degree map[bgp.ASN]int, emit func(customer, provider bgp.ASN)) {
+func emitPathVotes(path []bgp.ASN, cliqueSet map[bgp.ASN]bool, degree func(bgp.ASN) int, emit func(customer, provider bgp.ASN)) {
 	if len(path) < 2 {
 		return
 	}
@@ -362,7 +371,7 @@ func emitPathVotes(path []bgp.ASN, cliqueSet map[bgp.ASN]bool, degree map[bgp.AS
 // votes within a 2x ratio are the peak-adjacent peer link, and
 // single-direction c2p links between comparable high-degree non-clique
 // ASes are refined into p2p. v may be nil (adjacent but never voted).
-func resolveRel(key topology.LinkKey, v *vote, cliqueSet map[bgp.ASN]bool, degree map[bgp.ASN]int) Rel {
+func resolveRel(key topology.LinkKey, v *vote, cliqueSet map[bgp.ASN]bool, degree func(bgp.ASN) int) Rel {
 	aClique, bClique := cliqueSet[key.A], cliqueSet[key.B]
 	if aClique && bClique {
 		return RelP2P
@@ -386,7 +395,7 @@ func resolveRel(key topology.LinkKey, v *vote, cliqueSet map[bgp.ASN]bool, degre
 	default:
 		rel = RelP2C
 	}
-	da, db := degree[key.A], degree[key.B]
+	da, db := degree(key.A), degree(key.B)
 	if da > 10 && db > 10 && ratio(da, db) < 3 && !aClique && !bClique {
 		return RelP2P
 	}

@@ -7,6 +7,12 @@
 # diff next to this gate; the gate itself works on the raw samples so a
 # benchstat output-format change can never silently disarm it.
 #
+# A negative MAX_REGRESSION_PCT flips the gate into a speedup
+# requirement: HEAD must beat BASE by at least that margin. The CI
+# windowed scaling smoke uses this with the 1-core rows of a -cpu=1,4
+# run as BASE and the 4-core rows as HEAD, so an accidentally
+# serialized close path (4-core ≈ 1-core) fails the PR.
+#
 # ALLOW_MISSING_BASE=1 downgrades "missing from base" to a skip-with-note
 # so a PR that introduces a brand-new benchmark can gate it in the same
 # change; a benchmark missing from HEAD always fails (deleting one must
@@ -64,7 +70,8 @@ for bench in "$@"; do
     delta="$(awk -v b="$b" -v h="$h" 'BEGIN { printf "%.1f", (h - b) / b * 100 }')"
     over="$(awk -v d="$delta" -v m="$maxpct" 'BEGIN { print (d > m) ? 1 : 0 }')"
     if [ "$over" = "1" ]; then
-        echo "FAIL: $bench regressed ${delta}% (base ${b} ns/op -> head ${h} ns/op, limit +${maxpct}%)"
+        limit="$(awk -v m="$maxpct" 'BEGIN { printf "%+.1f", m }')"
+        echo "FAIL: $bench regressed ${delta}% (base ${b} ns/op -> head ${h} ns/op, limit ${limit}%)"
         fail=1
     else
         echo "ok:   $bench ${delta}% (base ${b} ns/op -> head ${h} ns/op)"

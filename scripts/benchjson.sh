@@ -8,9 +8,17 @@
 # benchgate.sh's ALLOW_MISSING_BASE skip. Uses only awk so CI needs no
 # extra tooling; the schema is
 #
-#   {"benchmarks": [{"name": ..., "base_ns_op": ..., "head_ns_op": ...,
+#   {"meta": {"goos": ..., "goarch": ..., "cpu": ..., "num_cpu": ...,
+#             "cpu_flag": ...},
+#    "benchmarks": [{"name": ..., "base_ns_op": ..., "head_ns_op": ...,
 #                    "base_samples": ..., "head_samples": ...,
 #                    "delta_pct": ...}, ...]}
+#
+# meta is scraped from HEAD.txt's `go test -bench` header (goos:,
+# goarch:, cpu: lines; null when absent), num_cpu is the machine's
+# online CPU count, and cpu_flag echoes the BENCH_CPU environment
+# variable so a `-cpu=1,4` sweep records which GOMAXPROCS values the
+# rows were measured under.
 set -euo pipefail
 
 if [ "$#" -lt 3 ]; then
@@ -40,7 +48,28 @@ stats() {
     ' "$1"
 }
 
-printf '{"benchmarks": ['
+# header FILE KEY -> value of a "key: value" bench-output header line
+# (empty when the file has none, e.g. a /dev/null base).
+header() {
+    awk -v key="$2:" '$1 == key { $1 = ""; sub(/^ /, ""); print; exit }' "$1"
+}
+
+goos="$(header "$head" goos)"
+goarch="$(header "$head" goarch)"
+cpu="$(header "$head" cpu)"
+num_cpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+cpu_flag="${BENCH_CPU:-}"
+
+printf '{"meta": '
+awk -v goos="$goos" -v goarch="$goarch" -v cpu="$cpu" \
+    -v num_cpu="$num_cpu" -v cpu_flag="$cpu_flag" '
+    function str(v) { return v == "" ? "null" : "\"" v "\"" }
+    BEGIN {
+        printf "{\"goos\": %s, \"goarch\": %s, \"cpu\": %s, \"num_cpu\": %d, \"cpu_flag\": %s}",
+            str(goos), str(goarch), str(cpu), num_cpu, str(cpu_flag)
+    }
+'
+printf ', "benchmarks": ['
 sep=""
 for bench in "$@"; do
     read -r bmean bn <<<"$(stats "$base" "$bench")"
