@@ -17,6 +17,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sort"
 	"time"
 
 	"mlpeering/internal/pipeline"
@@ -52,12 +53,18 @@ func main() {
 			fmt.Printf("route server LG: http://%s/rs/%s?q=show+ip+bgp+summary\n", ln.Addr(), info.Name)
 		}
 	}
-	for _, lgs := range w.Topo.MemberLGs {
-		for _, h := range lgs {
-			fmt.Printf("member LG:       http://%s/as/%s?q=show+ip+bgp+<prefix>\n", ln.Addr(), h.ASN)
+	// Print one example member LG; pick it by sorted IXP name so the
+	// banner is stable run to run.
+	names := make([]string, 0, len(w.Topo.MemberLGs))
+	for name := range w.Topo.MemberLGs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if lgs := w.Topo.MemberLGs[name]; len(lgs) > 0 {
+			fmt.Printf("member LG:       http://%s/as/%s?q=show+ip+bgp+<prefix>\n", ln.Addr(), lgs[0].ASN)
 			break
 		}
-		break
 	}
 	log.Printf("serving on %s", ln.Addr())
 	srv := &http.Server{Handler: w.LGHandler()}

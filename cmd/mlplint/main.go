@@ -1,0 +1,119 @@
+// Command mlplint is the repo's determinism-and-concurrency
+// multichecker. It runs the internal/lint analyzer suite (maporder,
+// rngclock, sharddiscipline, floatorder) over the packages matching
+// the given patterns (default ./...) and exits nonzero on any
+// finding. It is stdlib-only and needs no install step:
+//
+//	go run ./cmd/mlplint ./...
+//
+// Deliberate exceptions are waived in source with
+// //mlplint:<rule> <reason>; see internal/lint and the README's
+// "Determinism rules" section.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mlpeering/internal/lint"
+	"mlpeering/internal/lint/analysis"
+	"mlpeering/internal/lint/load"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mlplint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the mlplint determinism analyzers over the given package\npatterns (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlplint:", err)
+		os.Exit(2)
+	}
+
+	type diag struct {
+		file      string
+		line, col int
+		analyzer  string
+		msg       string
+	}
+	var diags []diag
+	for _, pkg := range pkgs {
+		for _, a := range lint.Analyzers {
+			name := a.Name
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(d analysis.Diagnostic) {
+					pos := pkg.Fset.Position(d.Pos)
+					diags = append(diags, diag{
+						file:     pos.Filename,
+						line:     pos.Line,
+						col:      pos.Column,
+						analyzer: name,
+						msg:      d.Message,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "mlplint: %s on %s: %v\n", a.Name, pkg.Path, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+
+	cwd, _ := os.Getwd()
+	seen := make(map[diag]bool)
+	for _, d := range diags {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		file := d.file
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && len(rel) < len(file) {
+				file = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", file, d.line, d.col, d.analyzer, d.msg)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mlplint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

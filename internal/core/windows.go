@@ -259,6 +259,7 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 	var prevRemineLinks map[topology.LinkKey][]string
 	winIdx := 0
 	closeWindow := func() {
+		//mlplint:clock close-duration telemetry only; never feeds inference or window boundaries
 		t0 := time.Now()
 		cur.LiveRoutes = len(live)
 		if miner != nil {

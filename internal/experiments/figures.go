@@ -72,6 +72,7 @@ func (c *Context) Figure5(ixpName string) *Figure5Result {
 	mult := c.Run.Active.PrefixMultiplicity[ixpName]
 	var counts []int
 	multi := 0
+	//mlplint:ordered NewDistributionInts sorts the sample; the multi counter is commutative
 	for _, m := range mult {
 		counts = append(counts, m)
 		if m > 1 {
@@ -216,6 +217,7 @@ func (c *Context) Figure7() *Figure7Result {
 	res := &Figure7Result{Links: c.Run.Result.TotalLinks()}
 	var smallest, largest []int
 	stubStub, involves, smallDeg := 0, 0, 0
+	//mlplint:ordered NewDistributionInts sorts both samples; the integer counters are commutative
 	for link := range c.Run.Result.Links {
 		da, db := rels.CustomerDegree(link.A), rels.CustomerDegree(link.B)
 		lo, hi := da, db

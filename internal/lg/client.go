@@ -36,6 +36,7 @@ func (r *RateLimiter) Wait() {
 		return
 	}
 	r.mu.Lock()
+	//mlplint:clock real wall-clock pacing for live LG HTTP queries; tests inject sleep
 	now := time.Now()
 	wait := r.interval - now.Sub(r.last)
 	if wait > 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/netip"
+	"sort"
 	"strings"
 	"sync"
 
@@ -41,12 +42,13 @@ func (s *Server) Mount(name string, b Backend) {
 // Handler returns the HTTP handler serving all mounted LGs.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Names returns the mounted LG names.
+// Names returns the mounted LG names in sorted order.
 func (s *Server) Names() []string {
 	out := make([]string, 0, len(s.backends))
 	for n := range s.backends {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

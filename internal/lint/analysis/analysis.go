@@ -1,0 +1,50 @@
+// Package analysis is a minimal, dependency-free skeleton of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check
+// with a Run function, a Pass hands it one type-checked package, and
+// diagnostics are reported through a callback. It exists because this
+// module is intentionally stdlib-only; the surface mirrors x/tools
+// closely enough that the analyzers in internal/lint could be ported
+// to the real multichecker by swapping this import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //mlplint: waiver comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant the
+	// analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Safe to call multiple times;
+	// the driver orders and deduplicates output.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

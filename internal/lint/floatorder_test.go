@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mlpeering/internal/lint"
+	"mlpeering/internal/lint/linttest"
+)
+
+func TestFloatOrder(t *testing.T) {
+	diags := linttest.Run(t, "testdata", lint.FloatOrder, "floatfix")
+	if got, want := len(diags), 2; got != want {
+		t.Errorf("diagnostics = %d, want %d", got, want)
+	}
+}

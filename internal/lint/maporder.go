@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mlpeering/internal/lint/analysis"
+)
+
+// MapOrder flags `for range` over a map whose body writes to ordered,
+// committed state: appending to a slice declared outside the loop,
+// sending on a channel, emitting output (fmt.Print*/Fprint*, Write*
+// methods on outer writers), or calling event-emitting methods on
+// outer receivers. Go randomizes map iteration order, so any of these
+// makes the committed artifact depend on the iteration — the exact
+// bug class the worker-sweep equivalence tests exist to catch
+// dynamically.
+//
+// Two escapes: appends whose target slice is passed to a sort (or a
+// locally-defined *sort*/*canon* helper) after the loop are the
+// sorted-key-extraction idiom and pass; anything deliberate carries
+// //mlplint:ordered <reason>.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags range-over-map loops that write to ordered state without a post-loop sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		w := newWaivers(pass.Fset, file)
+		walkStack(file, func(stack []ast.Node, n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(pass.TypesInfo, rng) {
+				return true
+			}
+			if w.check(pass, stack, rng, ruleOrdered) {
+				return true // still recurse: nested loops judged on their own
+			}
+			checkMapRangeBody(pass, stack, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func rangesOverMap(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// eventMethods are method names on outer receivers that commit to an
+// ordered stream; calling them per map key is order-dependent.
+var eventMethods = map[string]bool{
+	"Emit": true, "Push": true, "PushBack": true, "Enqueue": true,
+	"Publish": true, "Append": true, "Record": true,
+}
+
+// writerMethods write bytes to an output in call order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Fprintf": true, "Printf": true,
+}
+
+func checkMapRangeBody(pass *analysis.Pass, stack []ast.Node, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	// appended maps each outer slice object appended to inside the
+	// loop to the position of the first append, pending the
+	// post-loop sort check.
+	appended := make(map[types.Object]ast.Node)
+
+	walkStack(rng.Body, func(inner []ast.Node, n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // deferred work; judged where it runs
+		case *ast.SendStmt:
+			if !waivedInner(pass, stack, inner, x, ruleOrdered) {
+				pass.Reportf(x.Pos(), "channel send inside range over map: receive order depends on map iteration; iterate sorted keys or waive with //mlplint:ordered <reason>")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || i >= len(x.Lhs) {
+					continue
+				}
+				root := rootIdent(x.Lhs[i])
+				if root == nil {
+					continue
+				}
+				obj := objOf(info, root)
+				if obj == nil || declaredWithin(obj, rng) {
+					continue
+				}
+				if indexedWithin(info, x.Lhs[i], rng) {
+					continue // per-key cell: commutative across iterations
+				}
+				if !waivedInner(pass, stack, inner, x, ruleOrdered) {
+					if _, dup := appended[obj]; !dup {
+						appended[obj] = x
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, stack, inner, rng, x)
+		}
+		return true
+	})
+
+	fnBody := enclosingFuncBody(stack)
+	for obj, at := range appended {
+		if fnBody != nil && sortedAfter(info, fnBody, obj, rng.End()) {
+			continue
+		}
+		pass.Reportf(at.Pos(), "append to %q inside range over map: element order depends on map iteration; sort %q after the loop, iterate sorted keys, or waive with //mlplint:ordered <reason>", obj.Name(), obj.Name())
+	}
+}
+
+func checkMapRangeCall(pass *analysis.Pass, stack, inner []ast.Node, rng *ast.RangeStmt, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			if !waivedInner(pass, stack, inner, call, ruleOrdered) {
+				pass.Reportf(call.Pos(), "fmt.%s inside range over map: output order depends on map iteration; iterate sorted keys or waive with //mlplint:ordered <reason>", fn.Name())
+			}
+		}
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return // package-qualified call, not a method
+	}
+	name := fn.Name()
+	if !eventMethods[name] && !writerMethods[name] {
+		return
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return
+	}
+	obj := objOf(info, root)
+	if obj == nil || declaredWithin(obj, rng) {
+		return
+	}
+	if indexedWithin(info, sel.X, rng) {
+		return // per-key receiver: commutative across iterations
+	}
+	if !waivedInner(pass, stack, inner, call, ruleOrdered) {
+		pass.Reportf(call.Pos(), "%s.%s inside range over map commits in iteration order; iterate sorted keys or waive with //mlplint:ordered <reason>", root.Name, name)
+	}
+}
+
+// waivedInner applies waivers to a node nested inside the range body,
+// seeing both the outer walk stack and the body-relative stack.
+func waivedInner(pass *analysis.Pass, stack, inner []ast.Node, n ast.Node, rule string) bool {
+	file := stack[0].(*ast.File)
+	w := newWaivers(pass.Fset, file)
+	full := append(append([]ast.Node{}, stack...), inner...)
+	return w.check(pass, full, n, rule)
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := objOf(info, id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// enclosingFuncBody returns the body of the innermost function on the
+// stack, or nil at file scope.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// sortedAfter reports whether obj is passed to a sorting call
+// positioned after pos within body: sort.* and slices.Sort* qualify,
+// as does any function or method whose name contains "sort" or
+// "canon" (case-insensitive), covering local canonicalization
+// helpers.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if !isSortingCallee(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil && objOf(info, root) == obj {
+				found = true
+				return false
+			}
+		}
+		// method form: keys.Sort()
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if root := rootIdent(sel.X); root != nil && objOf(info, root) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortingCallee(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+		return true
+	}
+	return containsFold(fn.Name(), "sort") || containsFold(fn.Name(), "canon")
+}
+
+func containsFold(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		ok := true
+		for j := 0; j < len(sub); j++ {
+			c := s[i+j] | 0x20
+			if c != sub[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

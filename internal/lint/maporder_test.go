@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mlpeering/internal/lint"
+	"mlpeering/internal/lint/linttest"
+)
+
+func TestMapOrder(t *testing.T) {
+	diags := linttest.Run(t, "testdata", lint.MapOrder, "maporderfix")
+	// The fixture carries three real findings plus one
+	// reasonless-waiver report; waived and sorted cases are silent.
+	if got, want := len(diags), 4; got != want {
+		t.Errorf("diagnostics = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,45 @@
+// Package rngfix exercises the rngclock analyzer; its fixture path
+// sits under internal/ because the analyzer's jurisdiction is the
+// internal tree.
+package rngfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// bad reaches for the process-global RNG and the wall clock.
+func bad() (int, time.Time) {
+	n := rand.Intn(10) // want `rand.Intn uses the process-global RNG`
+	t := time.Now()    // want `time.Now in an internal package`
+	return n, t
+}
+
+// goodSeeded draws from an explicitly seeded stream: constructors and
+// *rand.Rand methods are always allowed.
+func goodSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// goodTime does time arithmetic without reading the clock.
+func goodTime(base time.Time, d time.Duration) time.Time {
+	return base.Add(d)
+}
+
+// waivedClock carries a statement-level clock waiver.
+func waivedClock() time.Time {
+	//mlplint:clock fixture exercises the line-level waiver path
+	return time.Now()
+}
+
+//mlplint:rng fixture exercises the function-level waiver path
+func waivedRNGFunc() int {
+	return rand.Int()
+}
+
+// reasonless shows a bare waiver suppressing but being reported.
+func reasonless() time.Time {
+	//mlplint:clock
+	return time.Now() // want `waiver requires a reason`
+}

@@ -363,6 +363,7 @@ func (inc *Incremental) Commit() {
 	// so the shard collection order is irrelevant.
 	cands := inc.candScratch[:0]
 	for s := range inc.byAS {
+		//mlplint:ordered greedyCliqueFrom totally orders candidates by (degree desc, ASN asc)
 		for a := range inc.byAS[s].degree {
 			cands = append(cands, a)
 		}

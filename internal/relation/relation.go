@@ -286,6 +286,7 @@ func (v *vote) empty() bool { return v.ab == 0 && v.ba == 0 }
 // a plain map.
 func greedyClique(degree map[bgp.ASN]int, adjacent func(a, b bgp.ASN) bool) []bgp.ASN {
 	cands := make([]bgp.ASN, 0, len(degree))
+	//mlplint:ordered greedyCliqueFrom totally orders candidates by (degree desc, ASN asc)
 	for a := range degree {
 		cands = append(cands, a)
 	}

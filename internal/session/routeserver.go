@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"slices"
 	"sync"
 	"time"
 
@@ -162,6 +163,7 @@ func (rs *RouteServer) handle(conn net.Conn) error {
 	for p := range st.routes {
 		prefixes = append(prefixes, p)
 	}
+	slices.SortFunc(prefixes, bgp.ComparePrefixes)
 	rs.table.WithdrawPeer(member, st.addr)
 	peers := rs.peersLocked()
 	rs.mu.Unlock()
@@ -175,10 +177,17 @@ func (rs *RouteServer) handle(conn net.Conn) error {
 	return sess.Err()
 }
 
+// peersLocked snapshots the member sessions in ascending-ASN order so
+// fan-outs hit peers in a stable, reproducible sequence.
 func (rs *RouteServer) peersLocked() []*memberState {
-	out := make([]*memberState, 0, len(rs.members))
-	for _, m := range rs.members {
-		out = append(out, m)
+	asns := make([]bgp.ASN, 0, len(rs.members))
+	for asn := range rs.members {
+		asns = append(asns, asn)
+	}
+	slices.Sort(asns)
+	out := make([]*memberState, 0, len(asns))
+	for _, asn := range asns {
+		out = append(out, rs.members[asn])
 	}
 	return out
 }
@@ -212,7 +221,8 @@ func (rs *RouteServer) process(from bgp.ASN, st *memberState, upd *bgp.Update) {
 			Attrs:    upd.Attrs.Clone(),
 			PeerASN:  from,
 			PeerAddr: st.addr,
-			Learned:  time.Now(),
+			//mlplint:clock live-session RIB timestamp; the simulated pipeline never reads Learned
+			Learned: time.Now(),
 		})
 	}
 

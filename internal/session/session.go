@@ -93,6 +93,7 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		updates:  make(chan *bgp.Update, 64),
 		errCh:    make(chan error, 1),
 		done:     make(chan struct{}),
+		//mlplint:clock RFC 4271 keepalive pacing on a live TCP session
 		lastSend: time.Now(),
 	}
 	go s.readLoop()
@@ -111,6 +112,7 @@ func (s *Session) readLoop() {
 	defer close(s.updates)
 	hold := s.hold
 	for {
+		//mlplint:clock RFC 4271 hold-timer deadline on a live TCP session
 		if err := s.conn.SetReadDeadline(time.Now().Add(hold)); err != nil {
 			s.fail(err)
 			return
@@ -171,6 +173,7 @@ func (s *Session) write(m bgp.Message) error {
 	if s.closed {
 		return errors.New("session: closed")
 	}
+	//mlplint:clock RFC 4271 keepalive pacing on a live TCP session
 	s.lastSend = time.Now()
 	return bgp.WriteMessage(s.conn, m)
 }
