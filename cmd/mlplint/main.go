@@ -1,32 +1,54 @@
 // Command mlplint is the repo's determinism-and-concurrency
 // multichecker. It runs the internal/lint analyzer suite (maporder,
-// rngclock, sharddiscipline, floatorder) over the packages matching
-// the given patterns (default ./...) and exits nonzero on any
-// finding. It is stdlib-only and needs no install step:
+// rngclock, sharddiscipline, floatorder, frozen, guardedby,
+// allocfree) over the packages matching the given patterns (default
+// ./...) and exits nonzero on any live finding. It is stdlib-only and
+// needs no install step:
 //
 //	go run ./cmd/mlplint ./...
+//	go run ./cmd/mlplint -json ./... > mlplint.json
+//	go run ./cmd/mlplint -rules frozen,guardedby ./internal/core
+//	go run ./cmd/mlplint -allocspans ./...
+//
+// -json emits the sorted diagnostics — including waived ones, which
+// never affect the exit code — as a machine-readable array.
+// -allocspans dumps the //mlplint:allocfree-annotated function spans
+// for scripts/allocgate.sh to cross-check against compiler escape
+// analysis.
 //
 // Deliberate exceptions are waived in source with
 // //mlplint:<rule> <reason>; see internal/lint and the README's
-// "Determinism rules" section.
+// "Checked invariants" section.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/ast"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"mlpeering/internal/lint"
 	"mlpeering/internal/lint/analysis"
 	"mlpeering/internal/lint/load"
 )
 
+// moduleSyntax adapts the loaded package set to analysis.ModuleSyntax
+// so annotation-driven analyzers (frozen) see cross-package syntax.
+type moduleSyntax map[string][]*ast.File
+
+func (m moduleSyntax) PackageFiles(path string) []*ast.File { return m[path] }
+
 func main() {
 	listOnly := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (includes waived findings)")
+	rulesFlag := flag.String("rules", "", "comma-separated analyzer names to run (default all)")
+	allocSpans := flag.Bool("allocspans", false, "dump //mlplint:allocfree function spans (file:start:end:name) and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: mlplint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mlplint [flags] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the mlplint determinism analyzers over the given package\npatterns (default ./...).\n\n")
 		flag.PrintDefaults()
 	}
@@ -39,6 +61,24 @@ func main() {
 		return
 	}
 
+	analyzers := lint.Analyzers
+	if *rulesFlag != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range lint.Analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*rulesFlag, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mlplint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -49,15 +89,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	cwd, _ := os.Getwd()
+	relpath := func(file string) string {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && len(rel) < len(file) {
+				return rel
+			}
+		}
+		return file
+	}
+
+	if *allocSpans {
+		for _, pkg := range pkgs {
+			for _, s := range lint.AllocFreeSpans(pkg.Fset, pkg.Files) {
+				fmt.Printf("%s:%d:%d:%s\n", relpath(s.File), s.Start, s.End, s.Name)
+			}
+		}
+		return
+	}
+
+	module := make(moduleSyntax, len(pkgs))
+	for _, pkg := range pkgs {
+		module[pkg.Path] = pkg.Files
+	}
+
 	type diag struct {
-		file      string
-		line, col int
-		analyzer  string
-		msg       string
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"rule"`
+		Msg      string `json:"message"`
+		Waived   bool   `json:"waived"`
 	}
 	var diags []diag
 	for _, pkg := range pkgs {
-		for _, a := range lint.Analyzers {
+		for _, a := range analyzers {
 			name := a.Name
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -65,14 +131,16 @@ func main() {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Module:    module,
 				Report: func(d analysis.Diagnostic) {
 					pos := pkg.Fset.Position(d.Pos)
 					diags = append(diags, diag{
-						file:     pos.Filename,
-						line:     pos.Line,
-						col:      pos.Column,
-						analyzer: name,
-						msg:      d.Message,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: name,
+						Msg:      d.Message,
+						Waived:   d.Waived,
 					})
 				},
 			}
@@ -85,35 +153,51 @@ func main() {
 
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
-		if a.file != b.file {
-			return a.file < b.file
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.line != b.line {
-			return a.line < b.line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		if a.col != b.col {
-			return a.col < b.col
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
-		return a.analyzer < b.analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Msg < b.Msg
 	})
 
-	cwd, _ := os.Getwd()
+	live := 0
 	seen := make(map[diag]bool)
+	out := diags[:0]
 	for _, d := range diags {
 		if seen[d] {
 			continue
 		}
 		seen[d] = true
-		file := d.file
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, file); err == nil && len(rel) < len(file) {
-				file = rel
+		d.File = relpath(d.File)
+		out = append(out, d)
+		if !d.Waived {
+			live++
+			if !*jsonOut {
+				fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Msg)
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", file, d.line, d.col, d.analyzer, d.msg)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mlplint: %d finding(s)\n", len(diags))
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if out == nil {
+			out = []diag{}
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mlplint:", err)
+			os.Exit(2)
+		}
+	}
+	if live > 0 {
+		fmt.Fprintf(os.Stderr, "mlplint: %d finding(s)\n", live)
 		os.Exit(1)
 	}
 }

@@ -180,6 +180,8 @@ func (d *Dictionary) ByName(name string) *IXPEntry { return d.byName[name] }
 // omitted), it falls back to combination disambiguation: the referenced
 // peer ASes must all be members of the candidate IXP, and only one IXP
 // may qualify.
+//
+//mlplint:allocfree
 func (d *Dictionary) IdentifyIXP(cs bgp.Communities) (*IXPEntry, bool) {
 	// Candidate entries: only schemes interpreting at least one of the
 	// set's high halves can have a non-empty relevant subset; everything

@@ -8,7 +8,11 @@ import (
 	"mlpeering/internal/topology"
 )
 
-// IXPInference is the per-IXP outcome of steps 4-5.
+// IXPInference is the per-IXP outcome of steps 4-5. Inferences are
+// built by InferLinks and MeshState.Snapshot and are read-only views
+// afterwards.
+//
+//mlplint:frozen
 type IXPInference struct {
 	Name string
 	// Members is the best-known RS member list used for inference.
@@ -34,6 +38,7 @@ func (x *IXPInference) CoveredMembers() []bgp.ASN {
 			out = append(out, m)
 		}
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		//mlplint:frozen idempotent memo: InferLinks prefills it in the builder; Snapshot skips the prefill to keep streaming window closes O(churn), so first read fills it with identical content
 		x.covered = out
 	}
 	return x.covered
@@ -63,7 +68,10 @@ func (x *IXPInference) ActiveCount() int {
 	return n
 }
 
-// Result is the complete inference outcome.
+// Result is the complete inference outcome: a read-only view once its
+// builder (InferLinks or MeshState.Snapshot) returns.
+//
+//mlplint:frozen
 type Result struct {
 	PerIXP map[string]*IXPInference
 	// Links maps every inferred link to the IXPs it was inferred at
@@ -114,6 +122,8 @@ type ObservationSource interface {
 // reconstruct each covered member's export filter, build its allow set
 // N_a, and infer a p2p link between a and a' iff each allows the other
 // (the reciprocity rule).
+//
+//mlplint:frozen
 func InferLinks(dict *Dictionary, obs ObservationSource) *Result {
 	res := &Result{
 		PerIXP: make(map[string]*IXPInference),

@@ -191,6 +191,10 @@ func (ms *MeshState) MultiIXPLinks() int { return ms.multi }
 // read-only during the pass — and the recorded link transitions commit
 // into the global attribution/stability counters sequentially in
 // work-item order, so the outcome is identical for any worker count.
+// Steady-state applies reuse the drained dirty list, the work items and
+// each IXP's slot state, so a window close stays allocation-light.
+//
+//mlplint:allocfree
 func (ms *MeshState) Apply(obs *DeltaObservations, workers int) {
 	ms.dirty = obs.DrainDirty(ms.dirty[:0])
 	ms.works = ms.works[:0]
@@ -213,6 +217,7 @@ func (ms *MeshState) Apply(obs *DeltaObservations, workers int) {
 	}
 	clear(ms.dirtySeen)
 	clear(ms.workIdx)
+	//mlplint:allocfree one pooled closure per Apply fans out the per-IXP work items
 	par.Run(workers, len(ms.works), func(i int) {
 		w := &ms.works[i]
 		for _, setter := range w.setters {
@@ -458,6 +463,8 @@ func (ms *MeshState) CloseStability() float64 {
 // read-only views. The clone fans out on up to workers goroutines —
 // one task per IXP plus one for the global link map, each writing
 // disjoint freshly-allocated state.
+//
+//mlplint:frozen
 func (ms *MeshState) Snapshot(workers int) *Result {
 	res := &Result{
 		PerIXP: make(map[string]*IXPInference, len(ms.dict.Entries)),

@@ -582,7 +582,10 @@ func (m *windowMiner) apply(g *windowGroup, prefix bgp.Prefix, delta int) {
 // per shard. Each shard's queue is applied in enqueue (stream) order
 // and shards share no state, so the resulting store is byte-identical
 // to applying the whole stream sequentially.
+//
+//mlplint:allocfree
 func (m *windowMiner) flushObs() {
+	//mlplint:allocfree one pooled closure per window close fans out the shard flush
 	par.Run(m.workers, obsShardCount, func(s int) {
 		ops := m.obsQueue[s]
 		for _, op := range ops {

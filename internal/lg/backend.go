@@ -145,8 +145,10 @@ type ASBackend struct {
 	allPaths bool
 	routerID netip.Addr
 
-	mu       sync.Mutex
-	arena    propagate.RouteArena
+	mu sync.Mutex
+	//mlplint:guardedby mu
+	arena propagate.RouteArena
+	//mlplint:guardedby mu
 	routeBuf []*propagate.VantageRoute
 }
 

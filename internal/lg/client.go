@@ -21,7 +21,7 @@ import (
 type RateLimiter struct {
 	mu       sync.Mutex
 	interval time.Duration
-	last     time.Time
+	last     time.Time           // guarded by mu
 	sleep    func(time.Duration) // injectable for tests
 }
 

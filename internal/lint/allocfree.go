@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mlpeering/internal/lint/analysis"
+)
+
+// AllocFree AST-checks functions annotated //mlplint:allocfree for
+// allocating constructs: make/new, pointer and map/slice composite
+// literals, closures that capture enclosing variables, interface
+// boxing of non-pointer-shaped values, fmt calls, string
+// concatenation and string<->[]byte conversions. Value struct
+// literals and writes into preallocated storage pass — the annotation
+// promises a steady-state 0 allocs/op hot path, not a malloc-free
+// one.
+//
+// The check is syntactic and conservative where the compiler is
+// clever (small-int boxing, non-escaping make), so it pairs with
+// scripts/allocgate.sh, which verifies the same annotation set
+// against real escape analysis (go build -gcflags=-m=1) and a
+// checked-in baseline. Deliberate allocations are waived with
+// //mlplint:allocfree <reason> on the line or the line above; the
+// function-doc form is the annotation itself. _test.go files are out
+// of jurisdiction.
+var AllocFree = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "flags allocating constructs inside //mlplint:allocfree functions",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		w := newWaivers(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, ruleAllocFree) {
+				continue
+			}
+			checkAllocFree(pass, w, fd)
+		}
+	}
+	return nil
+}
+
+func checkAllocFree(pass *analysis.Pass, w *waivers, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	report := func(node ast.Node, format string, args ...any) {
+		if w.checkLines(pass, node, ruleAllocFree) {
+			return
+		}
+		pass.Reportf(node.Pos(), "%s in //mlplint:allocfree %s; hoist it out of the hot path or waive with //mlplint:allocfree <reason>",
+			fmt.Sprintf(format, args...), fd.Name.Name)
+	}
+	walkStack(fd.Body, func(stack []ast.Node, n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkAllocCall(pass, report, x)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x, "pointer composite literal allocates")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := typeOf(info, x); t != nil && !addressOfLit(stack, x) {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					report(x, "map literal allocates")
+				case *types.Slice:
+					report(x, "slice literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if name, ok := closureCapture(pass, fd, x); ok {
+				report(x, "closure capturing %q allocates", name)
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(typeOf(info, x)) && !isConst(info, x) {
+				report(x, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isString(typeOf(info, x.Lhs[0])) {
+				report(x, "string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+// checkAllocCall classifies one call inside an allocfree function:
+// allocating builtins, fmt, string conversions, interface boxing of
+// arguments.
+func checkAllocCall(pass *analysis.Pass, report func(ast.Node, string, ...any), call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if name, ok := builtinName(info, call); ok {
+		switch name {
+		case "make":
+			report(call, "make allocates")
+		case "new":
+			report(call, "new allocates")
+		}
+		return
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkAllocConversion(info, report, call, tv.Type)
+		return
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call, "fmt."+fn.Name()+" allocates")
+		return
+	}
+	sig, ok := typeOf(info, call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-arg boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(info, arg, pt) {
+			report(arg, "argument boxes into interface")
+		}
+	}
+}
+
+func checkAllocConversion(info *types.Info, report func(ast.Node, string, ...any), call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	src := typeOf(info, arg)
+	if src == nil {
+		return
+	}
+	switch tt := target.Underlying().(type) {
+	case *types.Interface:
+		if boxes(info, arg, target) {
+			report(call, "interface conversion boxes")
+		}
+	case *types.Basic:
+		if tt.Info()&types.IsString != 0 {
+			if _, ok := src.Underlying().(*types.Slice); ok && !isConst(info, arg) {
+				report(call, "string conversion allocates")
+			}
+		}
+	case *types.Slice:
+		if s, ok := src.Underlying().(*types.Basic); ok && s.Info()&types.IsString != 0 {
+			report(call, "byte/rune slice conversion allocates")
+		}
+	}
+}
+
+// boxes reports whether assigning arg to an interface-typed slot
+// allocates: the parameter is an interface, the argument concrete and
+// not pointer-shaped.
+func boxes(info *types.Info, arg ast.Expr, param types.Type) bool {
+	if param == nil {
+		return false
+	}
+	if _, ok := param.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	at := typeOf(info, arg)
+	if at == nil {
+		return false
+	}
+	switch at.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if at.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+		return false
+	}
+	return true
+}
+
+// closureCapture reports the first enclosing-function variable a
+// FuncLit captures. Package-level objects and the literal's own
+// locals are free.
+func closureCapture(pass *analysis.Pass, fd *ast.FuncDecl, fl *ast.FuncLit) (string, bool) {
+	info := pass.TypesInfo
+	var name string
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == pass.Pkg.Scope() {
+			return true // package-level: no capture
+		}
+		if declaredWithin(v, fl) || !declaredWithin(v, fd) {
+			return true
+		}
+		name = v.Name()
+		return false
+	})
+	return name, name != ""
+}
+
+// addressOfLit reports whether the composite literal is the direct
+// operand of &, which the UnaryExpr case reports once already.
+func addressOfLit(stack []ast.Node, lit *ast.CompositeLit) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			return p.Op == token.AND
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if t == nil {
+			return false
+		}
+		b, ok = t.Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+	}
+	return b.Info()&types.IsString != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// AllocSpan describes one //mlplint:allocfree-annotated function for
+// the allocgate driver: the file and line span the compiler's -m
+// diagnostics are matched against, and a stable display name.
+type AllocSpan struct {
+	File       string
+	Start, End int
+	Name       string
+}
+
+// AllocFreeSpans lists the annotated functions of a package in file
+// order, skipping _test.go files (same jurisdiction as the analyzer).
+func AllocFreeSpans(fset *token.FileSet, files []*ast.File) []AllocSpan {
+	var spans []AllocSpan
+	for _, file := range files {
+		name := fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, ruleAllocFree) {
+				continue
+			}
+			spans = append(spans, AllocSpan{
+				File:  name,
+				Start: fset.Position(fd.Pos()).Line,
+				End:   fset.Position(fd.End()).Line,
+				Name:  funcDisplayName(fd),
+			})
+		}
+	}
+	return spans
+}
+
+// funcDisplayName renders a FuncDecl the way the compiler names it:
+// Func, (T).Method or (*T).Method.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	star := ""
+	if s, ok := recv.(*ast.StarExpr); ok {
+		star = "*"
+		recv = s.X
+	}
+	base := "?"
+	switch r := recv.(type) {
+	case *ast.Ident:
+		base = r.Name
+	case *ast.IndexExpr:
+		if id, ok := r.X.(*ast.Ident); ok {
+			base = id.Name
+		}
+	}
+	return "(" + star + base + ")." + fd.Name.Name
+}

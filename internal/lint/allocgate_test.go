@@ -1,0 +1,94 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// allocgateScript locates scripts/allocgate.sh relative to this file.
+func allocgateScript(t *testing.T) string {
+	t.Helper()
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	script := filepath.Join(filepath.Dir(self), "..", "..", "scripts", "allocgate.sh")
+	if _, err := os.Stat(script); err != nil {
+		t.Fatalf("allocgate.sh not found: %v", err)
+	}
+	return script
+}
+
+// runCompare invokes allocgate.sh -compare on two prepared escape lists.
+func runCompare(t *testing.T, base, cur string) (string, int) {
+	t.Helper()
+	if _, err := exec.LookPath("bash"); err != nil {
+		t.Skipf("bash unavailable: %v", err)
+	}
+	dir := t.TempDir()
+	basef := filepath.Join(dir, "base")
+	curf := filepath.Join(dir, "cur")
+	if err := os.WriteFile(basef, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(curf, []byte(cur), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command("bash", allocgateScript(t), "-compare", basef, curf).CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running allocgate.sh: %v (output: %s)", err, out)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+const baselined = "(*Engine).compute\tmake([]hop, n) escapes to heap\n"
+
+// TestAllocGateDeliberateEscape demonstrates the gate's failure mode:
+// an escape present in the tree but absent from the baseline — i.e. a
+// new heap allocation inside a //mlplint:allocfree function — fails the
+// compare with the offending line named.
+func TestAllocGateDeliberateEscape(t *testing.T) {
+	escape := "(*MeshState).Apply\t&meshEvent{...} escapes to heap\n"
+	out, code := runCompare(t, baselined, baselined+escape)
+	if code == 0 {
+		t.Fatalf("compare passed with a new escape; output:\n%s", out)
+	}
+	if !strings.Contains(out, "new heap escapes") || !strings.Contains(out, "(*MeshState).Apply") {
+		t.Errorf("failure output does not name the new escape:\n%s", out)
+	}
+}
+
+// TestAllocGateClean pins the passing path: identical escape lists gate
+// green.
+func TestAllocGateClean(t *testing.T) {
+	out, code := runCompare(t, baselined, baselined)
+	if code != 0 {
+		t.Fatalf("compare failed on identical lists (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "no new escapes") {
+		t.Errorf("passing output missing summary:\n%s", out)
+	}
+}
+
+// TestAllocGateTightenNudge pins the improvement path: a baselined
+// escape the compiler no longer produces passes the gate but nudges
+// toward regenerating the baseline.
+func TestAllocGateTightenNudge(t *testing.T) {
+	gone := "(*windowMiner).flushObs\tfunc literal escapes to heap\n"
+	out, code := runCompare(t, baselined+gone, baselined)
+	if code != 0 {
+		t.Fatalf("compare failed on a disappeared escape (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "-update") {
+		t.Errorf("improvement output missing the -update nudge:\n%s", out)
+	}
+}

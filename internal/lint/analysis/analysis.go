@@ -36,6 +36,19 @@ type Pass struct {
 	// Report delivers one diagnostic. Safe to call multiple times;
 	// the driver orders and deduplicates output.
 	Report func(Diagnostic)
+	// Module, when non-nil, exposes the syntax of other packages in
+	// the same load (the x/tools Facts mechanism's poor cousin).
+	// Analyzers that honor cross-package annotations — frozen's type
+	// markings, notably — consult it for each import; a nil Module or
+	// a nil PackageFiles result degrades to same-package analysis.
+	Module ModuleSyntax
+}
+
+// ModuleSyntax resolves an import path to the parsed files of that
+// package, or nil when the driver has no syntax for it (dependencies
+// loaded from export data, the standard library).
+type ModuleSyntax interface {
+	PackageFiles(path string) []*ast.File
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -47,4 +60,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Waived marks a finding suppressed by an audited
+	// //mlplint:<rule> <reason> comment. Waived diagnostics carry the
+	// waiver's reason in Message, do not fail the build, and exist so
+	// machine consumers (mlplint -json) can see the full audited
+	// exception set, not just the live findings.
+	Waived bool
 }

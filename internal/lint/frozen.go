@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"mlpeering/internal/lint/analysis"
+)
+
+// Frozen enforces publish-then-freeze: a type annotated
+// //mlplint:frozen (on its type declaration) or produced by an
+// annotated constructor (//mlplint:frozen in the function doc marks
+// the function a builder and freezes its named result types) must
+// never be written after publication. Field stores, slice/map element
+// writes, append-into, delete and clear through any pointer to a
+// frozen type are flagged — aliases included, because the check is
+// type-driven, not name-driven. Writes inside an annotated builder
+// are the sanctioned construction window and pass.
+//
+// Frozen annotations are discovered across the whole load via
+// Pass.Module, so a package mutating another package's snapshot type
+// is caught too. Site waivers use //mlplint:frozen <reason> on the
+// flagged line or the line above; the function-doc form is reserved
+// for builder annotations.
+var Frozen = &analysis.Analyzer{
+	Name: "frozen",
+	Doc:  "flags writes to //mlplint:frozen types outside their annotated builders",
+	Run:  runFrozen,
+}
+
+func runFrozen(pass *analysis.Pass) error {
+	frozen := frozenTypeSet(pass)
+	if len(frozen) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		w := newWaivers(pass.Fset, file)
+		walkStack(file, func(stack []ast.Node, n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && hasDirective(fd.Doc, ruleFrozen) {
+				return false // annotated builder: construction window
+			}
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					checkFrozenStore(pass, w, frozen, lhs, "write")
+				}
+			case *ast.IncDecStmt:
+				checkFrozenStore(pass, w, frozen, x.X, "write")
+			case *ast.CallExpr:
+				if name, ok := builtinName(pass.TypesInfo, x); ok && (name == "delete" || name == "clear") && len(x.Args) > 0 {
+					checkFrozenStore(pass, w, frozen, x.Args[0], name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFrozenStore walks the lvalue chain of lhs looking for a step
+// that dereferences a pointer to a frozen type, and reports it unless
+// waived on the line.
+func checkFrozenStore(pass *analysis.Pass, w *waivers, frozen map[string]bool, lhs ast.Expr, verb string) {
+	e := lhs
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if name, ok := frozenPtr(pass.TypesInfo, frozen, x.X); ok {
+				reportFrozen(pass, w, x, verb, name)
+				return
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if name, ok := frozenPtr(pass.TypesInfo, frozen, x.X); ok {
+				reportFrozen(pass, w, x, verb, name)
+				return
+			}
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.StarExpr:
+			if name, ok := frozenPtr(pass.TypesInfo, frozen, x.X); ok {
+				reportFrozen(pass, w, x, verb, name)
+				return
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+func reportFrozen(pass *analysis.Pass, w *waivers, node ast.Node, verb, typeName string) {
+	if w.checkLines(pass, node, ruleFrozen) {
+		return
+	}
+	pass.Reportf(node.Pos(), "%s through frozen %s after publication; mutate only inside a //mlplint:frozen builder or waive with //mlplint:frozen <reason>", verb, typeName)
+}
+
+// frozenPtr reports whether e's type is a pointer to a frozen named
+// type, returning a printable type name.
+func frozenPtr(info *types.Info, frozen map[string]bool, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	ptr, ok := tv.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if !frozen[named.Obj().Pkg().Path()+"."+named.Obj().Name()] {
+		return "", false
+	}
+	return "*" + named.Obj().Pkg().Name() + "." + named.Obj().Name(), true
+}
+
+// frozenTypeSet collects "pkgpath.TypeName" for every frozen
+// annotation visible to the pass: the package's own files plus the
+// syntax of each import the driver can supply. The scan is purely
+// syntactic so foreign packages need no type information.
+func frozenTypeSet(pass *analysis.Pass) map[string]bool {
+	set := make(map[string]bool)
+	scanFrozenTypes(pass.Pkg.Path(), pass.Files, set)
+	if pass.Module != nil {
+		for _, imp := range pass.Pkg.Imports() {
+			if files := pass.Module.PackageFiles(imp.Path()); files != nil {
+				scanFrozenTypes(imp.Path(), files, set)
+			}
+		}
+	}
+	return set
+}
+
+func scanFrozenTypes(pkgPath string, files []*ast.File, set map[string]bool) {
+	for _, file := range files {
+		imports := importNames(file)
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				declFrozen := hasDirective(d.Doc, ruleFrozen)
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if declFrozen || hasDirective(ts.Doc, ruleFrozen) || hasDirective(ts.Comment, ruleFrozen) {
+						set[pkgPath+"."+ts.Name.Name] = true
+					}
+				}
+			case *ast.FuncDecl:
+				if !hasDirective(d.Doc, ruleFrozen) || d.Type.Results == nil {
+					continue
+				}
+				for _, res := range d.Type.Results.List {
+					if name, ok := resultTypeName(pkgPath, imports, res.Type); ok {
+						set[name] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// resultTypeName resolves a builder's result type expression to
+// "pkgpath.TypeName" syntactically: a bare identifier names a type of
+// the builder's own package, a selector resolves through the file's
+// imports.
+func resultTypeName(pkgPath string, imports map[string]string, e ast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			return pkgPath + "." + x.Name, true
+		case *ast.SelectorExpr:
+			pkg, ok := x.X.(*ast.Ident)
+			if !ok {
+				return "", false
+			}
+			path, ok := imports[pkg.Name]
+			if !ok {
+				return "", false
+			}
+			return path + "." + x.Sel.Name, true
+		default:
+			return "", false
+		}
+	}
+}
+
+// importNames maps each import's local package name to its import
+// path. Unnamed imports fall back to the path's last element, which
+// matches every package in this module.
+func importNames(file *ast.File) map[string]string {
+	m := make(map[string]string)
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		m[name] = path
+	}
+	return m
+}
+
+// hasDirective reports whether a comment group carries an
+// //mlplint:<rule> directive.
+func hasDirective(cg *ast.CommentGroup, rule string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if r, _, ok := directive(c); ok && r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// builtinName resolves a call to a builtin's name.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	b, ok := objOf(info, id).(*types.Builtin)
+	if !ok {
+		return "", false
+	}
+	return b.Name(), true
+}

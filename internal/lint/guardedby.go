@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"mlpeering/internal/lint/analysis"
+)
+
+// GuardedBy enforces mutex discipline on annotated struct fields: a
+// field whose declaration carries //mlplint:guardedby <mu> (or a
+// plain "guarded by <mu>" comment) may only be read or written while
+// the named mutex of the same receiver is held. The analyzer
+// recognizes, per enclosing function:
+//
+//   - a positional <base>.<mu>.Lock()/RLock() before the access with
+//     no matching Unlock in between (defer Unlock forms hold to the
+//     end of the function; an Unlock immediately followed by a
+//     return/break/continue is an early-exit release on another
+//     control path and does not end the critical section)
+//   - the lock-held helper convention: functions named *Locked are
+//     assumed to be called with the lock held
+//   - construction windows: accesses whose base object is declared
+//     inside the same function are pre-publication and exempt, as are
+//     composite-literal field keys
+//
+// The heuristic is deliberately permissive — a conditional Lock
+// upstream can produce a false negative — because a false positive
+// costs a waiver audit. Findings are waived with
+// //mlplint:guardedby <reason> on the line, the line above, or the
+// enclosing function's doc comment.
+var GuardedBy = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "flags access to //mlplint:guardedby fields without the named mutex held",
+	Run:  runGuardedBy,
+}
+
+var guardedByRE = regexp.MustCompile(`(?i)\bguarded by (\w+)`)
+
+func runGuardedBy(pass *analysis.Pass) error {
+	guarded := guardedFieldSet(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		w := newWaivers(pass.Fset, file)
+		walkStack(file, func(stack []ast.Node, n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			mu, ok := guarded[obj]
+			if !ok {
+				return true
+			}
+			scope, body := enclosingScope(stack)
+			if scope == nil || body == nil {
+				return true // field access at package scope: initializers
+			}
+			if fd, ok := scope.(*ast.FuncDecl); ok && strings.HasSuffix(fd.Name.Name, "Locked") {
+				return true
+			}
+			if root := rootIdent(sel.X); root != nil && declaredWithin(objOf(pass.TypesInfo, root), body) {
+				return true // pre-publication: object built inside this function
+			}
+			if heldAt(pass.TypesInfo, body, sel.X, mu, sel.Pos()) {
+				return true
+			}
+			if w.check(pass, stack, sel, ruleGuarded) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "access to %s without holding %s.%s: field is guarded; lock around the access, move it into a *Locked helper, or waive with //mlplint:guardedby <reason>",
+				types.ExprString(sel), types.ExprString(sel.X), mu)
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedFieldSet maps each annotated field object of the package to
+// its guarding mutex name.
+func guardedFieldSet(pass *analysis.Pass) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu, ok := fieldGuard(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// fieldGuard extracts a guardedby annotation from a field's doc or
+// trailing comment: the //mlplint:guardedby <mu> directive form or a
+// plain "guarded by <mu>" phrase.
+func fieldGuard(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rule, rest, ok := directive(c); ok && rule == ruleGuarded {
+				mu, _, _ := strings.Cut(rest, " ")
+				if mu != "" {
+					return mu, true
+				}
+			}
+			if m := guardedByRE.FindStringSubmatch(c.Text); m != nil {
+				return m[1], true
+			}
+		}
+	}
+	return "", false
+}
+
+// enclosingScope returns the innermost function on the stack and its
+// body. FuncLits are their own scope: a lock held where a closure is
+// *defined* proves nothing about when it *runs*.
+func enclosingScope(stack []ast.Node) (ast.Node, *ast.BlockStmt) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f, f.Body
+		case *ast.FuncLit:
+			return f, f.Body
+		}
+	}
+	return nil, nil
+}
+
+// heldAt reports whether the mutex <base>.<mu> is positionally held
+// at pos within body: some Lock/RLock call on the same base
+// expression precedes pos, and the last preceding non-deferred,
+// non-early-exit Unlock (if any) precedes that Lock.
+func heldAt(info *types.Info, body *ast.BlockStmt, base ast.Expr, mu string, pos token.Pos) bool {
+	want := types.ExprString(base) + "." + mu
+	var lastLock, lastUnlock token.Pos
+	walkStack(body, func(stack []ast.Node, n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested closures are their own scope
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || types.ExprString(sel.X) != want {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			if call.Pos() > lastLock {
+				lastLock = call.Pos()
+			}
+		case "Unlock", "RUnlock":
+			if deferred(stack) || earlyExitUnlock(stack, call) {
+				return true
+			}
+			if call.Pos() > lastUnlock {
+				lastUnlock = call.Pos()
+			}
+		}
+		return true
+	})
+	return lastLock != token.NoPos && lastLock > lastUnlock
+}
+
+// deferred reports whether the node at the top of the stack sits
+// directly under a defer statement.
+func deferred(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.ExprStmt, *ast.CallExpr, *ast.ParenExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// earlyExitUnlock reports whether the unlock call's statement is
+// immediately followed by a return or branch statement in its block:
+// the mu.Unlock(); return pattern releases on a control path that
+// leaves the function, so it does not end the critical section for
+// the code below it.
+func earlyExitUnlock(stack []ast.Node, call *ast.CallExpr) bool {
+	var stmt ast.Stmt
+	var list []ast.Stmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch b := stack[i].(type) {
+		case *ast.ExprStmt:
+			stmt = b
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		}
+		if stmt != nil && list != nil {
+			break
+		}
+	}
+	if stmt == nil || list == nil {
+		return false
+	}
+	for i, s := range list {
+		if s == stmt && i+1 < len(list) {
+			switch list[i+1].(type) {
+			case *ast.ReturnStmt, *ast.BranchStmt:
+				return true
+			}
+			return false
+		}
+	}
+	// Unlock as the last statement of its block: an if-body that
+	// falls through still ends the section for code after the if, so
+	// only treat it as early-exit when the block itself returns...
+	// which we cannot see from here; stay permissive and count it.
+	return false
+}

@@ -13,13 +13,25 @@
 //   - floatorder: float accumulation in nondeterministically-ordered
 //     loops
 //
+// The second generation covers the concurrency-and-performance half
+// of the same contract, driven by source annotations:
+//
+//   - frozen: //mlplint:frozen types and constructor results are
+//     immutable after publication
+//   - guardedby: annotated fields are only touched under their mutex
+//   - allocfree: //mlplint:allocfree hot paths contain no allocating
+//     constructs (cross-checked against compiler escape analysis by
+//     scripts/allocgate.sh)
+//
 // Deliberate exceptions carry an auditable waiver comment:
 //
 //	//mlplint:<rule> <reason>
 //
 // on the flagged line, on the line above it, or in the doc comment of
-// the enclosing function (which waives the whole function). A waiver
-// without a reason is itself a diagnostic.
+// the enclosing function (which waives the whole function; frozen and
+// allocfree accept only the line forms, since for them a function-doc
+// directive is an annotation). A waiver without a reason is itself a
+// diagnostic.
 package lint
 
 import (
@@ -38,16 +50,25 @@ var Analyzers = []*analysis.Analyzer{
 	RNGClock,
 	ShardDiscipline,
 	FloatOrder,
+	Frozen,
+	GuardedBy,
+	AllocFree,
 }
 
 // waiver rules understood in //mlplint: comments, mapped to the
-// analyzer that honors each.
+// analyzer that honors each. frozen, guardedby and allocfree double
+// as annotation vocabulary: on a type or constructor doc, on a struct
+// field, and on a function doc respectively they opt state *in* to
+// checking rather than waiving a finding (see each analyzer's doc).
 const (
 	ruleOrdered    = "ordered"    // maporder
 	ruleRNG        = "rng"        // rngclock (math/rand globals)
 	ruleClock      = "clock"      // rngclock (time.Now)
 	ruleShared     = "shared"     // sharddiscipline
 	ruleFloatOrder = "floatorder" // floatorder
+	ruleFrozen     = "frozen"     // frozen
+	ruleGuarded    = "guardedby"  // guardedby
+	ruleAllocFree  = "allocfree"  // allocfree
 )
 
 // waivers indexes the //mlplint: comments of one file.
@@ -57,24 +78,52 @@ type waivers struct {
 	byLine map[int]map[string]string
 }
 
-const waiverPrefix = "//mlplint:"
+// directive extracts an mlplint directive from a single comment,
+// accepting both line (//mlplint:rule reason) and block
+// (/*mlplint:rule reason*/) forms. A block comment's directive is
+// read from its first line only.
+func directive(c *ast.Comment) (rule, reason string, ok bool) {
+	text := c.Text
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	}
+	text, ok = strings.CutPrefix(text, "mlplint:")
+	if !ok {
+		return "", "", false
+	}
+	if i := strings.IndexByte(text, '\n'); i >= 0 {
+		text = text[:i]
+	}
+	rule, reason, _ = strings.Cut(text, " ")
+	return rule, strings.TrimSpace(reason), true
+}
 
 func newWaivers(fset *token.FileSet, file *ast.File) *waivers {
 	w := &waivers{fset: fset, byLine: make(map[int]map[string]string)}
+	add := func(line int, rule, reason string) {
+		m := w.byLine[line]
+		if m == nil {
+			m = make(map[string]string)
+			w.byLine[line] = m
+		}
+		m[rule] = reason
+	}
 	for _, cg := range file.Comments {
+		end := fset.Position(cg.End()).Line
 		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, waiverPrefix)
+			rule, reason, ok := directive(c)
 			if !ok {
 				continue
 			}
-			rule, reason, _ := strings.Cut(text, " ")
-			line := fset.Position(c.Pos()).Line
-			m := w.byLine[line]
-			if m == nil {
-				m = make(map[string]string)
-				w.byLine[line] = m
-			}
-			m[rule] = strings.TrimSpace(reason)
+			add(fset.Position(c.Pos()).Line, rule, reason)
+			// A waiver buried mid-group — a struct field's multi-line
+			// doc comment, a block comment above prose — still waives
+			// the node below the group, so the line-above lookup must
+			// find it on the group's final line too.
+			add(end, rule, reason)
 		}
 	}
 	return w
@@ -90,6 +139,22 @@ func (w *waivers) at(line int, rule string) (waived bool, reason string) {
 	return false, ""
 }
 
+// waive resolves one matched waiver: a reasonless waiver converts the
+// suppressed diagnostic into a live "waiver requires a reason" report;
+// a reasoned one is surfaced as a Waived diagnostic so machine
+// consumers (mlplint -json) still see the audited exception.
+func waive(pass *analysis.Pass, node ast.Node, rule, reason string) {
+	if reason == "" {
+		pass.Reportf(node.Pos(), "//mlplint:%s waiver requires a reason", rule)
+		return
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos:     node.Pos(),
+		Message: "waived (" + rule + "): " + reason,
+		Waived:  true,
+	})
+}
+
 // check resolves a would-be diagnostic at node against the waivers:
 // a waiver on the node's line or the line above suppresses it, as
 // does one anywhere in the doc comment of the enclosing function
@@ -97,14 +162,8 @@ func (w *waivers) at(line int, rule string) (waived bool, reason string) {
 // diagnostic into a "waiver requires a reason" report instead of
 // suppressing silently.
 func (w *waivers) check(pass *analysis.Pass, stack []ast.Node, node ast.Node, rule string) (suppressed bool) {
-	line := w.fset.Position(node.Pos()).Line
-	for _, l := range []int{line, line - 1} {
-		if ok, reason := w.at(l, rule); ok {
-			if reason == "" {
-				pass.Reportf(node.Pos(), "//mlplint:%s waiver requires a reason", rule)
-			}
-			return true
-		}
+	if w.checkLines(pass, node, rule) {
+		return true
 	}
 	for i := len(stack) - 1; i >= 0; i-- {
 		fd, ok := stack[i].(*ast.FuncDecl)
@@ -112,17 +171,26 @@ func (w *waivers) check(pass *analysis.Pass, stack []ast.Node, node ast.Node, ru
 			continue
 		}
 		for _, c := range fd.Doc.List {
-			text, ok := strings.CutPrefix(c.Text, waiverPrefix)
-			if !ok {
+			r, reason, ok := directive(c)
+			if !ok || r != rule {
 				continue
 			}
-			r, reason, _ := strings.Cut(text, " ")
-			if r != rule {
-				continue
-			}
-			if strings.TrimSpace(reason) == "" {
-				pass.Reportf(node.Pos(), "//mlplint:%s waiver requires a reason", rule)
-			}
+			waive(pass, node, rule, reason)
+			return true
+		}
+	}
+	return false
+}
+
+// checkLines is check restricted to the node's line and the line
+// above. The frozen and allocfree analyzers use it for site waivers
+// because for them a function-doc //mlplint: directive is an
+// annotation (builder marking, allocfree opt-in), not a waiver.
+func (w *waivers) checkLines(pass *analysis.Pass, node ast.Node, rule string) (suppressed bool) {
+	line := w.fset.Position(node.Pos()).Line
+	for _, l := range []int{line, line - 1} {
+		if ok, reason := w.at(l, rule); ok {
+			waive(pass, node, rule, reason)
 			return true
 		}
 	}

@@ -28,9 +28,25 @@ import (
 )
 
 // Run type-checks testdata/src/<pkgpath>, applies the analyzer, and
-// reports mismatches between diagnostics and // want expectations via
-// t. It returns the diagnostics for additional assertions.
+// reports mismatches between live diagnostics and // want
+// expectations via t. It returns the live (non-waived) diagnostics
+// for additional assertions; use RunAll to also see the waived set.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) []analysis.Diagnostic {
+	t.Helper()
+	all := RunAll(t, testdata, a, pkgpath)
+	live := all[:0:0]
+	for _, d := range all {
+		if !d.Waived {
+			live = append(live, d)
+		}
+	}
+	return live
+}
+
+// RunAll is Run including waived diagnostics in the returned slice.
+// The // want matching still covers only the live findings: a waiver
+// suppresses the diagnostic, it does not rename it.
+func RunAll(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) []analysis.Diagnostic {
 	t.Helper()
 	fset := token.NewFileSet()
 	imp := newFixtureImporter(fset, filepath.Join(testdata, "src"))
@@ -46,14 +62,32 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) []
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
+		Module:    imp,
 		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s on %s: %v", a.Name, pkgpath, err)
 	}
 
-	checkWants(t, fset, files, diags)
+	live := diags[:0:0]
+	for _, d := range diags {
+		if !d.Waived {
+			live = append(live, d)
+		}
+	}
+	checkWants(t, fset, files, live)
 	return diags
+}
+
+// PackageFiles implements analysis.ModuleSyntax over the fixture
+// cache: any package under testdata/src that has been loaded —
+// directly or as an import of the package under test — exposes its
+// syntax to annotation-driven analyzers.
+func (fi *fixtureImporter) PackageFiles(path string) []*ast.File {
+	if p, ok := fi.pkgs[path]; ok && p.err == nil {
+		return p.files
+	}
+	return nil
 }
 
 type want struct {

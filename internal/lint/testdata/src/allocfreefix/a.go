@@ -1,0 +1,58 @@
+// Package allocfreefix exercises the allocfree analyzer: an
+// annotated clean hot path, an annotated function with every flagged
+// construct, waived growth, and unannotated code out of scope.
+package allocfreefix
+
+import "fmt"
+
+type ring struct {
+	buf  []int
+	name string
+}
+
+type pair struct{ a, b int }
+
+// fill is annotated and clean: writes into preallocated storage,
+// value struct literals and non-capturing closures do not allocate.
+//
+//mlplint:allocfree
+func (r *ring) fill(n int) {
+	for i := range r.buf {
+		r.buf[i] = n + i
+	}
+	p := pair{a: 1, b: 2}
+	g := func(x int) int { return x * 2 }
+	r.buf[0] = g(p.a)
+}
+
+// alloc is annotated and violates every rule.
+//
+//mlplint:allocfree
+func (r *ring) alloc(n int) string {
+	s := make([]int, n)          // want `make allocates`
+	q := new(pair)               // want `new allocates`
+	m := map[string]int{}        // want `map literal allocates`
+	l := []int{1, 2}             // want `slice literal allocates`
+	pp := &pair{a: n}            // want `pointer composite literal allocates`
+	f := func() int { return n } // want `closure capturing "n" allocates`
+	fmt.Println(n)               // want `fmt.Println allocates`
+	msg := r.name + "!"          // want `string concatenation allocates`
+	b := []byte(r.name)          // want `byte/rune slice conversion allocates`
+	_ = string(b)                // want `string conversion allocates`
+	sink(n)                      // want `argument boxes into interface`
+	_, _, _, _, _, _ = s, q, m, l, pp, f
+	return msg
+}
+
+func sink(v any) { _ = v }
+
+// grow waives its deliberate allocation with a reason.
+//
+//mlplint:allocfree
+func (r *ring) grow(n int) {
+	//mlplint:allocfree doubling growth amortizes to 0 allocs/op
+	r.buf = make([]int, n)
+}
+
+// unannotated is out of scope entirely.
+func unannotated(n int) []int { return make([]int, n) }

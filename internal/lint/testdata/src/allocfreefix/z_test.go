@@ -1,0 +1,9 @@
+package allocfreefix
+
+// testOnly is annotated but lives in a _test.go file, which is out of
+// allocfree's jurisdiction: its make must produce no finding.
+//
+//mlplint:allocfree
+func testOnly(n int) []int {
+	return make([]int, n)
+}

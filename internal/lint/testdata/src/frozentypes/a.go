@@ -1,0 +1,17 @@
+// Package frozentypes declares annotated snapshot types for the
+// cross-package frozen fixture: one frozen by type annotation, one
+// frozen only via its builder's result.
+package frozentypes
+
+// Snap is frozen by its type annotation.
+//
+//mlplint:frozen
+type Snap struct{ N int }
+
+// View is frozen because NewView, its builder, is annotated.
+type View struct{ M map[string]int }
+
+// NewView publishes a View.
+//
+//mlplint:frozen
+func NewView() *View { return &View{M: make(map[string]int)} }

@@ -1,0 +1,18 @@
+// Package frozenuse mutates frozentypes' snapshots: the annotations
+// live in the other package and reach this pass via Pass.Module.
+package frozenuse
+
+import "frozentypes"
+
+func mutate(s *frozentypes.Snap, v *frozentypes.View) {
+	s.N = 1      // want `write through frozen \*frozentypes.Snap`
+	v.M["x"] = 2 // want `write through frozen \*frozentypes.View`
+}
+
+// refill is annotated locally as a builder, so it may repopulate a
+// View during construction.
+//
+//mlplint:frozen
+func refill(v *frozentypes.View) {
+	v.M["seed"] = 0
+}

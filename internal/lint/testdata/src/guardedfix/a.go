@@ -1,0 +1,98 @@
+// Package guardedfix exercises the guardedby analyzer: directive and
+// prose annotations, positional Lock/Unlock, defer forms, RLock, the
+// early-exit unlock pattern, the *Locked helper convention,
+// construction windows, and the waiver forms.
+package guardedfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the shared count.
+	//
+	//mlplint:guardedby mu
+	n    int
+	hits int // guarded by mu
+	free int
+}
+
+type table struct {
+	rw   sync.RWMutex
+	rows map[string]int // guarded by rw
+}
+
+func (c *counter) good() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) goodDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+	return c.n
+}
+
+// goodEarlyExit releases on the early-return path; the unlock there
+// belongs to another control flow and must not end the critical
+// section for the code below the if.
+func (c *counter) goodEarlyExit() {
+	c.mu.Lock()
+	if c.n == 0 {
+		c.mu.Unlock()
+		return
+	}
+	c.n--
+	c.mu.Unlock()
+}
+
+// addLocked follows the lock-held helper convention.
+func (c *counter) addLocked(d int) { c.n += d }
+
+func (t *table) get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k]
+}
+
+func newCounter() *counter {
+	c := &counter{n: 1} // composite-literal key: exempt
+	c.hits = 0          // pre-publication: built in this function
+	return c
+}
+
+func (c *counter) bad() int {
+	c.free++   // unannotated field: silent
+	return c.n // want `access to c.n without holding c.mu`
+}
+
+func (c *counter) badAfterUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want `access to c.n without holding c.mu`
+}
+
+// badClosure captures guarded state: a lock held where the closure is
+// defined proves nothing about when it runs.
+func (c *counter) badClosure() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() { c.n++ } // want `access to c.n without holding c.mu`
+}
+
+// waivedFunc's doc waiver covers the whole function.
+//
+//mlplint:guardedby single-goroutine helper, no concurrent access
+func (c *counter) waivedFunc() int { return c.n }
+
+func (c *counter) waivedLine() int {
+	//mlplint:guardedby stale snapshot read is tolerated here
+	return c.n
+}
+
+func (c *counter) reasonless() int {
+	//mlplint:guardedby
+	return c.n // want `//mlplint:guardedby waiver requires a reason`
+}

@@ -113,7 +113,8 @@ type Record struct {
 
 // Registry is an in-memory PeeringDB.
 type Registry struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	//mlplint:guardedby mu
 	records map[bgp.ASN]*Record
 }
 

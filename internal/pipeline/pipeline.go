@@ -58,8 +58,9 @@ var Timestamp = time.Date(2013, 5, 1, 0, 0, 0, 0, time.UTC)
 // stageGroup runs independent build stages concurrently and keeps the
 // first error.
 type stageGroup struct {
-	wg  sync.WaitGroup
-	mu  sync.Mutex
+	wg sync.WaitGroup
+	mu sync.Mutex
+	//mlplint:guardedby mu
 	err error
 }
 
@@ -79,6 +80,7 @@ func (g *stageGroup) Go(name string, f func() error) {
 
 func (g *stageGroup) Wait() error {
 	g.wg.Wait()
+	//mlplint:guardedby wg.Wait happens-after every writer's Done, so the read needs no lock
 	return g.err
 }
 

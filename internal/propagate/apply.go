@@ -317,7 +317,7 @@ func (e *Engine) Apply(d *Delta) ([]bgp.ASN, error) {
 		sh.mu.Lock()
 		for key, ent := range sh.entries {
 			if dirty[ent.tr.destIdx] {
-				sh.remove(ent)
+				sh.removeLocked(ent)
 				delete(sh.entries, key)
 			}
 		}
@@ -354,9 +354,9 @@ func (e *Engine) rebuildAll() {
 	}
 }
 
-// remove unlinks ent from the shard's LRU list. Caller holds sh.mu and
-// deletes the map entry itself.
-func (sh *cacheShard) remove(ent *lruEntry) {
+// removeLocked unlinks ent from the shard's LRU list. Caller holds
+// sh.mu and deletes the map entry itself.
+func (sh *cacheShard) removeLocked(ent *lruEntry) {
 	if ent.prev != nil {
 		ent.prev.next = ent.next
 	} else {

@@ -169,8 +169,10 @@ type Engine struct {
 	// blocks is safe and removes two allocations per tree. Fully
 	// consumed blocks are referenced only by the trees carved from
 	// them, so dropping the trees still releases the memory.
-	slabMu     sync.Mutex
-	hopSlab    []hop
+	slabMu sync.Mutex
+	//mlplint:guardedby slabMu
+	hopSlab []hop
+	//mlplint:guardedby slabMu
 	expOffSlab []int32
 }
 
@@ -180,9 +182,11 @@ type Engine struct {
 type cacheShard struct {
 	mu       sync.Mutex
 	capacity int
-	entries  map[bgp.ASN]*lruEntry
-	head     *lruEntry // most recently used
-	tail     *lruEntry // least recently used
+	//mlplint:guardedby mu
+	entries map[bgp.ASN]*lruEntry
+	head    *lruEntry // most recently used; guarded by mu
+	tail    *lruEntry // least recently used; guarded by mu
+	//mlplint:guardedby mu
 	inflight map[bgp.ASN]*inflightTree
 }
 
@@ -403,18 +407,18 @@ func (e *Engine) shard(dest bgp.ASN) *cacheShard {
 	return &e.shards[(h>>16)&e.shardMask]
 }
 
-// lookup returns the cached tree for key and marks it most recently
-// used. Caller holds sh.mu.
-func (sh *cacheShard) lookup(key bgp.ASN) *Tree {
+// lookupLocked returns the cached tree for key and marks it most
+// recently used. Caller holds sh.mu.
+func (sh *cacheShard) lookupLocked(key bgp.ASN) *Tree {
 	ent, ok := sh.entries[key]
 	if !ok {
 		return nil
 	}
-	sh.moveToFront(ent)
+	sh.moveToFrontLocked(ent)
 	return ent.tr
 }
 
-func (sh *cacheShard) moveToFront(ent *lruEntry) {
+func (sh *cacheShard) moveToFrontLocked(ent *lruEntry) {
 	if sh.head == ent {
 		return
 	}
@@ -440,12 +444,12 @@ func (sh *cacheShard) moveToFront(ent *lruEntry) {
 	}
 }
 
-// insert adds a computed tree, evicting the least recently used entry
-// when the shard is full. Caller holds sh.mu.
-func (sh *cacheShard) insert(key bgp.ASN, tr *Tree) {
+// insertLocked adds a computed tree, evicting the least recently used
+// entry when the shard is full. Caller holds sh.mu.
+func (sh *cacheShard) insertLocked(key bgp.ASN, tr *Tree) {
 	if ent, ok := sh.entries[key]; ok {
 		ent.tr = tr
-		sh.moveToFront(ent)
+		sh.moveToFrontLocked(ent)
 		return
 	}
 	if len(sh.entries) >= sh.capacity && sh.tail != nil {
@@ -480,7 +484,7 @@ func (e *Engine) Tree(dest bgp.ASN) *Tree {
 	}
 	sh := e.shard(dest)
 	sh.mu.Lock()
-	if tr := sh.lookup(dest); tr != nil {
+	if tr := sh.lookupLocked(dest); tr != nil {
 		sh.mu.Unlock()
 		return tr
 	}
@@ -502,7 +506,7 @@ func (e *Engine) Tree(dest bgp.ASN) *Tree {
 	c.tr = t
 	sh.mu.Lock()
 	delete(sh.inflight, dest)
-	sh.insert(dest, t)
+	sh.insertLocked(dest, t)
 	sh.mu.Unlock()
 	c.wg.Done()
 	return t
@@ -567,11 +571,19 @@ func (e *Engine) ForEachTree(workers int, fn func(*Tree)) {
 // frontier or bucket ever needs sorting. Relaxations compare packed
 // preference scores (see scoreClassShift): cand > scores[v] is exactly
 // the engine's class / bilateral-quirk / distance / next-hop order.
+//
+// compute is the sanctioned builder for frozen Trees, and the packed
+// relaxation loops are the hottest path in the repo: steady-state
+// (arena-warm) calls must not allocate.
+//
+//mlplint:frozen
+//mlplint:allocfree
 func (e *Engine) compute(di int32, t *Tree, s *scratch) {
 	n := len(e.asns)
 	t.dest = e.asns[di]
 	t.destIdx = di
 	if cap(t.hops) < n {
+		//mlplint:allocfree grow-only: fires once when the topology outgrew the tree
 		t.hops = make([]hop, n)
 	}
 	t.hops = t.hops[:n]
@@ -648,6 +660,7 @@ func (e *Engine) compute(di int32, t *Tree, s *scratch) {
 	// reflect routes; only the communities are gone, handled at
 	// reconstruction.
 	if cap(t.expOff) < len(e.ixps)+1 {
+		//mlplint:allocfree grow-only: fires once when IXPs were added under the tree
 		t.expOff = make([]int32, len(e.ixps)+1)
 	}
 	t.expOff = t.expOff[:len(e.ixps)+1]

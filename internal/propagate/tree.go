@@ -10,7 +10,10 @@ import (
 //
 // Trees returned by Engine.Tree are immutable and safe for concurrent
 // use. Trees passed to Engine.ForEachTree are recycled after the
-// callback returns; see that method's contract.
+// callback returns; see that method's contract. Either way a tree is
+// only ever (re)filled inside Engine.compute, the annotated builder.
+//
+//mlplint:frozen
 type Tree struct {
 	e       *Engine
 	dest    bgp.ASN

@@ -113,6 +113,8 @@ type linkShard struct {
 }
 
 // applyAdj replays the buffered adjacency refcount moves in order.
+//
+//mlplint:allocfree
 func (sh *linkShard) applyAdj() {
 	for _, op := range sh.adjOps {
 		if c := sh.adj[op.key] + op.delta; c == 0 {
@@ -126,10 +128,13 @@ func (sh *linkShard) applyAdj() {
 
 // applyVotes replays the buffered vote moves in order, marking every
 // moved link touched so the reconcile pass relabels it.
+//
+//mlplint:allocfree
 func (sh *linkShard) applyVotes() {
 	for _, op := range sh.voteOps {
 		v := sh.votes[op.key]
 		if v == nil {
+			//mlplint:allocfree one vote record per link lifetime; steady-state moves hit the cached record
 			v = &vote{}
 			sh.votes[op.key] = v
 		}
@@ -166,6 +171,8 @@ func (sh *asShard) touchDegree(a bgp.ASN) {
 }
 
 // applyOps replays the buffered transit and path-index moves in order.
+//
+//mlplint:allocfree
 func (sh *asShard) applyOps() {
 	for _, op := range sh.transOps {
 		p := transitPair{op.mid, op.nbr}
@@ -188,6 +195,7 @@ func (sh *asShard) applyOps() {
 		m := sh.pathsByAS[op.asn]
 		if op.add {
 			if m == nil {
+				//mlplint:allocfree one index map per AS first touched; steady-state moves reuse it
 				m = make(map[paths.ID]bool)
 				sh.pathsByAS[op.asn] = m
 			}

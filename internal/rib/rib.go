@@ -128,7 +128,8 @@ func Compare(a, b *Route) int {
 // maintaining best-path marks. It serves as Adj-RIB-In aggregate for a
 // route server and as the data source behind a looking glass.
 type Table struct {
-	mu     sync.RWMutex
+	mu sync.RWMutex
+	//mlplint:guardedby mu
 	routes map[bgp.Prefix][]*Route
 }
 

@@ -28,7 +28,8 @@ type RouteServer struct {
 
 	ln net.Listener
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	//mlplint:guardedby mu
 	members map[bgp.ASN]*memberState
 	table   *rib.Table // the server's RIB: one route per (prefix, member)
 	wg      sync.WaitGroup

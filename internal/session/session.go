@@ -41,8 +41,8 @@ type Session struct {
 	hold     time.Duration // negotiated: min of both sides' hold times
 
 	mu       sync.Mutex
-	closed   bool
-	lastSend time.Time
+	closed   bool      // guarded by mu
+	lastSend time.Time // guarded by mu
 
 	updates chan *bgp.Update
 	errCh   chan error

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # lint.sh — run the full lint stack locally, mirroring the CI lint
-# job: gofmt, go vet, mlplint (the in-repo determinism multichecker),
-# and staticcheck (pinned; skipped with a warning when the binary is
-# unavailable, e.g. offline).
+# job: gofmt, go vet, mlplint (the in-repo invariant multichecker),
+# allocgate (compiler escape analysis vs the //mlplint:allocfree
+# annotations), and staticcheck (pinned; skipped with a warning when
+# the binary is unavailable, e.g. offline).
 #
 # Usage: ./scripts/lint.sh [packages...]   (default ./...)
 set -u
@@ -29,8 +30,11 @@ fi
 echo "==> go vet"
 go vet "${pkgs[@]}" || failed=1
 
-echo "==> mlplint (determinism analyzers)"
+echo "==> mlplint (invariant analyzers)"
 go run ./cmd/mlplint "${pkgs[@]}" || failed=1
+
+echo "==> allocgate (hot-path escape analysis)"
+./scripts/allocgate.sh || failed=1
 
 echo "==> staticcheck"
 if command -v staticcheck >/dev/null 2>&1; then
