@@ -1,26 +1,50 @@
-// Command lgserve generates a world and serves its looking glasses over
-// HTTP for interactive exploration, printing the available endpoints.
+// Command lgserve serves the inference over HTTP. By default it runs
+// the epoch-pinned gateway: a background reconciler churns a generated
+// world, replays it through the incremental windowed inference, and
+// publishes each committed window as an immutable epoch snapshot that
+// the query endpoints serve with real cache semantics (ETag /
+// If-None-Match / Last-Modified / bounded in-flight backpressure).
+// With -static it reverts to the original looking-glass server over a
+// single frozen world.
 //
 // Usage:
 //
-//	lgserve [-scale 0.2] [-addr 127.0.0.1:8080]
+//	lgserve [-scale 0.2] [-addr 127.0.0.1:8080] [-static]
+//	        [-churn-epochs 12] [-churn-interval 1m] [-epoch-interval 200ms]
+//	        [-max-inflight 256] [-max-age 0] [-drain 10s] [-workers 0]
 //
-// Query examples:
+// Gateway query examples:
+//
+//	curl -i 'http://127.0.0.1:8080/v1/epoch'
+//	curl -i 'http://127.0.0.1:8080/v1/mesh'
+//	curl -i 'http://127.0.0.1:8080/v1/link?a=20121&b=20122'
+//	curl -i -H 'If-None-Match: "e3-..."' 'http://127.0.0.1:8080/v1/stats'
+//
+// Static-mode query examples:
 //
 //	curl 'http://127.0.0.1:8080/rs/DE-CIX?q=show+ip+bgp+summary'
 //	curl 'http://127.0.0.1:8080/rs/DE-CIX?q=show+ip+bgp+20.1.4.0/24'
+//
+// In both modes SIGINT/SIGTERM shut the server down gracefully:
+// in-flight requests get up to -drain to finish before the listener
+// closes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
+	"mlpeering/internal/churn"
 	"mlpeering/internal/pipeline"
+	"mlpeering/internal/serve"
 	"mlpeering/internal/topology"
 )
 
@@ -31,12 +55,75 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "world scale")
 	seed := flag.Int64("seed", 20130501, "generation seed")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	static := flag.Bool("static", false, "serve the frozen-world looking glasses instead of the gateway")
+	churnEpochs := flag.Int("churn-epochs", 12, "churn epochs per replay cycle (gateway mode)")
+	churnInterval := flag.Duration("churn-interval", time.Minute, "simulated trace time per epoch (gateway mode)")
+	epochInterval := flag.Duration("epoch-interval", 200*time.Millisecond, "minimum wall-clock pacing between snapshot commits (gateway mode)")
+	maxInFlight := flag.Int("max-inflight", 256, "in-flight request cap before 429 (gateway mode, 0 = unbounded)")
+	maxAge := flag.Duration("max-age", 0, "Cache-Control max-age (0 = no-cache, always revalidate)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	workers := flag.Int("workers", 0, "window-close worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := topology.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *static {
+		runStatic(ctx, ln, cfg, *drain)
+		return
+	}
+
+	ccfg := churn.DefaultConfig(*seed)
+	ccfg.Epochs = *churnEpochs
+	ccfg.Interval = *churnInterval
+
+	g := serve.New(serve.Config{
+		Topology:      cfg,
+		Churn:         ccfg,
+		Workers:       *workers,
+		MaxInFlight:   *maxInFlight,
+		MaxAge:        *maxAge,
+		EpochInterval: *epochInterval,
+		Logf:          log.Printf,
+	})
+	runErr := make(chan error, 1)
+	go func() { runErr <- g.Run(ctx) }()
+
+	log.Printf("gateway on http://%s (endpoints: /v1/epoch /v1/stats /v1/mesh /v1/ixps /v1/ixp/<name> /v1/link?a=&b= /v1/as/<asn> /healthz)", ln.Addr())
+	srv := &http.Server{Handler: g.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case err := <-runErr:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (drain %v)", *drain)
+	if err := serve.WaitShutdown(ctx, srv, *drain); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("bye")
+}
+
+// runStatic preserves the original mode: build one world and serve its
+// looking glasses, now with the same graceful SIGINT/SIGTERM drain as
+// the gateway.
+func runStatic(ctx context.Context, ln net.Listener, cfg topology.Config, drain time.Duration) {
 	start := time.Now()
 	w, err := pipeline.BuildWorld(cfg)
 	if err != nil {
@@ -44,10 +131,6 @@ func main() {
 	}
 	log.Printf("world built in %v", time.Since(start).Round(time.Millisecond))
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
 	for _, info := range w.Topo.IXPs {
 		if info.HasLG {
 			fmt.Printf("route server LG: http://%s/rs/%s?q=show+ip+bgp+summary\n", ln.Addr(), info.Name)
@@ -66,7 +149,19 @@ func main() {
 			break
 		}
 	}
-	log.Printf("serving on %s", ln.Addr())
+	log.Printf("serving on %s (static mode)", ln.Addr())
 	srv := &http.Server{Handler: w.LGHandler()}
-	log.Fatal(srv.Serve(ln))
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (drain %v)", drain)
+	if err := serve.WaitShutdown(ctx, srv, drain); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("bye")
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hash/fnv"
 	"sort"
 
 	"mlpeering/internal/bgp"
@@ -199,6 +200,18 @@ func (r *Result) AppendMesh(dst []byte) []byte {
 		dst = append(dst, 0xFF)
 	}
 	return dst
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash of the canonical mesh
+// encoding (AppendMesh): two results over the same dictionary that
+// describe the same mesh fingerprint equal. The serving tier keys
+// HTTP ETags and stale-read detection on it, so the value must be a
+// pure function of the inferred link set and its IXP attribution —
+// never of wall-clock state.
+func (r *Result) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write(r.AppendMesh(nil))
+	return h.Sum64()
 }
 
 // SumPerIXPLinks adds up the per-IXP link counts (larger than

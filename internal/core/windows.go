@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -77,11 +78,22 @@ type WindowOptions struct {
 	// Stream, when non-nil, receives each window at close instead of
 	// accumulating it in PassiveWindowsResult.Windows — the long-horizon
 	// replay mode. In incremental mode a streamed window carries the
-	// maintained counters (MeshLinks, Stability, CloseTime, ...) but no
-	// materialized Result: the mesh is not snapshotted, so a close
-	// allocates O(churn), not O(mesh). The pointer is only valid for the
-	// duration of the callback.
+	// maintained counters (MeshLinks, Stability, CloseTime, ...) but,
+	// unless Materialize is set, no materialized Result: the mesh is
+	// not snapshotted, so a close allocates O(churn), not O(mesh). The
+	// pointer is only valid for the duration of the callback.
 	Stream func(*PassiveWindow)
+	// Materialize forces each streamed window to carry its snapshotted
+	// Result even in incremental streaming mode — the serving tier's
+	// epoch producer consumes windows through Stream but publishes the
+	// materialized mesh. No effect when Stream is nil (results are
+	// always materialized then). The Result is freshly built per close
+	// and safe to retain beyond the callback.
+	Materialize bool
+	// Ctx, when non-nil, cancels the replay: the run returns ctx.Err()
+	// at the next window-close boundary after cancellation. Committed
+	// windows already handed to Stream stay valid.
+	Ctx context.Context
 
 	// shadow, when set (tests only), receives the incremental miner
 	// after every window close for full-InferLinks shadow checks.
@@ -263,7 +275,7 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 		t0 := time.Now()
 		cur.LiveRoutes = len(live)
 		if miner != nil {
-			miner.closeWindow(&cur, opts.Stream == nil || opts.shadow != nil)
+			miner.closeWindow(&cur, opts.Stream == nil || opts.Materialize || opts.shadow != nil)
 			if opts.shadow != nil {
 				opts.shadow(miner, &cur)
 			}
@@ -314,6 +326,18 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 		}
 	}
 
+	// cancelled polls the optional replay context; cancellation is
+	// observed at window-close boundaries, the unit of committed work.
+	cancelled := func() error {
+		if opts.Ctx == nil {
+			return nil
+		}
+		return opts.Ctx.Err()
+	}
+	if err := cancelled(); err != nil {
+		return nil, err
+	}
+
 	for _, u := range updates {
 		// Pre-window updates adjust the base table without counting.
 		if u.Timestamp.Before(opts.Start) {
@@ -321,6 +345,9 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 			continue
 		}
 		for winIdx < opts.Count && !u.Timestamp.Before(cur.End) {
+			if err := cancelled(); err != nil {
+				return nil, err
+			}
 			closeWindow()
 		}
 		if winIdx >= opts.Count {
@@ -329,6 +356,9 @@ func RunPassiveWindows(dumps []*mrt.Dump, updates []*mrt.BGP4MPMessage, dict *Di
 		apply(u, true)
 	}
 	for winIdx < opts.Count {
+		if err := cancelled(); err != nil {
+			return nil, err
+		}
 		closeWindow()
 	}
 	return res, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -614,5 +615,109 @@ func TestRunPassiveWindowsValidation(t *testing.T) {
 	}
 	if _, err := RunPassiveWindows(nil, nil, d, WindowOptions{Window: time.Minute, Count: 0}); err == nil {
 		t.Fatal("zero count accepted")
+	}
+}
+
+// TestStreamMaterializeAndCancel pins the serving-tier replay knobs:
+// streaming with Materialize carries a freshly snapshotted Result per
+// window whose fingerprint matches the retained-mode run, and a
+// cancelled Ctx stops the replay at the next close boundary instead of
+// committing further windows.
+func TestStreamMaterializeAndCancel(t *testing.T) {
+	d := testDict(t)
+	t0 := time.Date(2013, 5, 1, 2, 0, 0, 0, time.UTC)
+	w := 10 * time.Minute
+	updates := flapTrace(t, t0, w)
+	opts := WindowOptions{Start: t0, Window: w, Count: 4}
+
+	retained, err := RunPassiveWindows(nil, updates, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fps []uint64
+	var results []*Result
+	sopts := opts
+	sopts.Materialize = true
+	sopts.Stream = func(pw *PassiveWindow) {
+		if pw.Result == nil {
+			t.Fatal("materialized streaming window carried no Result")
+		}
+		fps = append(fps, pw.Result.Fingerprint())
+		results = append(results, pw.Result) // must stay valid after the callback
+	}
+	if _, err := RunPassiveWindows(nil, updates, d, sopts); err != nil {
+		t.Fatal(err)
+	}
+	if len(fps) != len(retained.Windows) {
+		t.Fatalf("streamed %d windows, retained run has %d", len(fps), len(retained.Windows))
+	}
+	for i := range fps {
+		if want := retained.Windows[i].Result.Fingerprint(); fps[i] != want {
+			t.Fatalf("window %d: streamed fingerprint %x, retained %x", i, fps[i], want)
+		}
+		// The retained pointer must still describe the window it was
+		// snapshotted at, not the latest mesh.
+		if got := results[i].TotalLinks(); got != retained.Windows[i].Result.TotalLinks() {
+			t.Fatalf("window %d: retained snapshot drifted to %d links", i, got)
+		}
+	}
+
+	// Without Materialize the streamed windows stay unsnapshotted.
+	plain := opts
+	plain.Stream = func(pw *PassiveWindow) {
+		if pw.Result != nil {
+			t.Fatal("plain streaming window materialized a Result")
+		}
+	}
+	if _, err := RunPassiveWindows(nil, updates, d, plain); err != nil {
+		t.Fatal(err)
+	}
+
+	// A pre-cancelled context commits nothing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	copts := opts
+	copts.Ctx = ctx
+	if _, err := RunPassiveWindows(nil, updates, d, copts); err != context.Canceled {
+		t.Fatalf("pre-cancelled replay returned %v, want context.Canceled", err)
+	}
+
+	// Cancelling mid-replay stops at the next close boundary.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	seen := 0
+	mopts := opts
+	mopts.Ctx = ctx2
+	mopts.Stream = func(pw *PassiveWindow) {
+		seen++
+		if seen == 2 {
+			cancel2()
+		}
+	}
+	if _, err := RunPassiveWindows(nil, updates, d, mopts); err != context.Canceled {
+		t.Fatalf("mid-replay cancel returned %v, want context.Canceled", err)
+	}
+	if seen != 2 {
+		t.Fatalf("replay committed %d windows after cancel, want 2", seen)
+	}
+}
+
+// TestResultFingerprint pins the fingerprint contract: equal meshes
+// fingerprint equal, different meshes differ, and the value tracks the
+// canonical AppendMesh encoding.
+func TestResultFingerprint(t *testing.T) {
+	d := testDict(t)
+	t0 := time.Date(2013, 5, 1, 2, 0, 0, 0, time.UTC)
+	w := 10 * time.Minute
+	res, err := RunPassiveWindows(nil, flapTrace(t, t0, w), d, WindowOptions{Start: t0, Window: w, Count: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, w1 := res.Windows[0].Result, res.Windows[1].Result
+	if w0.Fingerprint() != w0.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if bytes.Equal(w0.AppendMesh(nil), w1.AppendMesh(nil)) == (w0.Fingerprint() != w1.Fingerprint()) {
+		t.Fatalf("fingerprint equality diverges from mesh encoding equality")
 	}
 }

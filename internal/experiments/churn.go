@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -133,6 +134,30 @@ func (ct *ChurnTrace) StreamWindows(mode core.WindowsMode, count, workers int, f
 		Mode:    mode,
 		Workers: workers,
 		Stream:  fn,
+	})
+	return err
+}
+
+// ReplayWindows replays the trace through the incremental windowed
+// pipeline handing each window to fn at close, like StreamWindows, but
+// with the per-window Result materialized — the serving tier's epoch
+// producer: each callback carries a freshly snapshotted mesh that is
+// safe to retain after the callback returns (the *PassiveWindow itself
+// is not). ctx cancels the replay at the next window-close boundary;
+// count overrides the number of windows when positive.
+func (ct *ChurnTrace) ReplayWindows(ctx context.Context, count, workers int, fn func(*core.PassiveWindow)) error {
+	if count <= 0 {
+		count = ct.Epochs
+	}
+	_, err := core.RunPassiveWindows(ct.Dumps, ct.Updates, ct.Dict, core.WindowOptions{
+		Start:       ct.Start,
+		Window:      ct.Interval,
+		Count:       count,
+		Mode:        core.WindowsIncremental,
+		Workers:     workers,
+		Stream:      fn,
+		Materialize: true,
+		Ctx:         ctx,
 	})
 	return err
 }

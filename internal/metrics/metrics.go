@@ -107,8 +107,26 @@ func NewDistributionInts(sample []int) *Distribution {
 	return NewDistribution(v)
 }
 
+// NewDistributionInt64s builds a distribution from int64 samples
+// (latency nanoseconds and other counter-sized measurements).
+func NewDistributionInt64s(sample []int64) *Distribution {
+	v := make([]float64, len(sample))
+	for i, x := range sample {
+		v[i] = float64(x)
+	}
+	return NewDistribution(v)
+}
+
 // Len returns the sample size.
 func (d *Distribution) Len() int { return len(d.values) }
+
+// Max returns the largest sample (0 for empty).
+func (d *Distribution) Max() float64 {
+	if len(d.values) == 0 {
+		return 0
+	}
+	return d.values[len(d.values)-1]
+}
 
 // Mean returns the sample mean (0 for empty).
 func (d *Distribution) Mean() float64 {

@@ -110,3 +110,16 @@ func TestHelpers(t *testing.T) {
 		t.Fatal("Ratio")
 	}
 }
+
+func TestDistributionInt64sAndMax(t *testing.T) {
+	d := NewDistributionInt64s([]int64{50, 10, 30})
+	if d.Len() != 3 || d.Mean() != 30 || d.Max() != 50 {
+		t.Fatalf("len/mean/max = %d/%v/%v", d.Len(), d.Mean(), d.Max())
+	}
+	if d.Quantile(0.5) != 30 {
+		t.Fatalf("median = %v", d.Quantile(0.5))
+	}
+	if NewDistributionInt64s(nil).Max() != 0 {
+		t.Fatal("empty max")
+	}
+}

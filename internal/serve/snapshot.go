@@ -1,0 +1,337 @@
+// Package serve is the epoch-pinned inference gateway: it runs the
+// churn engine and the incremental windowed inference continuously in
+// a background reconciler, publishes every committed window as an
+// immutable epoch-numbered Snapshot behind one atomic pointer (RCU —
+// a reader pins a snapshot with a single atomic load and never takes
+// a lock), and serves mesh/link/relationship/window-stats queries
+// over HTTP with real cache semantics: strong ETags keyed on the
+// window fingerprint, Cache-Control, If-None-Match conditional
+// requests answered 304, Last-Modified from the commit instant,
+// bounded in-flight backpressure (429 + Retry-After) and graceful
+// drain on shutdown.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"mlpeering/internal/bgp"
+	"mlpeering/internal/core"
+	"mlpeering/internal/topology"
+)
+
+// WindowStats is the committed window's counter block, republished per
+// epoch on /v1/stats.
+type WindowStats struct {
+	Announced     int     `json:"announced"`
+	Withdrawn     int     `json:"withdrawn"`
+	WithdrawnOnly int     `json:"withdrawn_only_updates"`
+	LiveRoutes    int     `json:"live_routes"`
+	RelLinks      int     `json:"rel_links"`
+	P2PRels       int     `json:"p2p_rels"`
+	MeshLinks     int     `json:"mesh_links"`
+	MultiIXPLinks int     `json:"multi_ixp_links"`
+	Stability     float64 `json:"stability"`
+	CloseTimeNS   int64   `json:"close_time_ns"`
+}
+
+// Snapshot is one committed inference window, pinned to an epoch
+// number. It is published by a single atomic pointer swap and read
+// concurrently without synchronization, so it must never be mutated
+// after NewSnapshot returns — the frozen analyzer machine-checks
+// that, like core.Result underneath it.
+//
+//mlplint:frozen
+type Snapshot struct {
+	// Epoch numbers commits monotonically across the gateway's
+	// lifetime (it never resets when the replay cycles).
+	Epoch uint64
+	// Fingerprint is the canonical mesh hash (core.Result.Fingerprint)
+	// the ETag is keyed on.
+	Fingerprint uint64
+	// ETag is the strong entity tag served with every response:
+	// `"e<epoch>-<fingerprint-hex>"`. The epoch component keeps tags
+	// distinct across epochs even when churn left the mesh unchanged,
+	// so conditional revalidation can never resurrect a stale stats
+	// body.
+	ETag string
+	// WindowStart / WindowEnd bound the inference window in simulated
+	// trace time.
+	WindowStart, WindowEnd time.Time
+	// Committed is the wall-clock publish instant (Last-Modified).
+	Committed time.Time
+	// Scenario names the generating world scenario.
+	Scenario string
+	// Stats carries the window's counters.
+	Stats WindowStats
+	// Result is the materialized inference the query endpoints read.
+	Result *core.Result
+
+	// Precomputed canonical renders of the whole-snapshot endpoints,
+	// built once at publish so the read path only writes cached bytes.
+	epochJSON, statsJSON, meshJSON, ixpsJSON []byte
+}
+
+// NewSnapshot derives the immutable epoch snapshot of one committed
+// window. pw.Result must be materialized (WindowOptions.Materialize);
+// committed is the wall-clock commit instant the caller observed.
+// All sorted renders are precomputed here, inside the sanctioned
+// construction window, so publication needs no further writes.
+//
+//mlplint:frozen
+func NewSnapshot(epoch uint64, scenario string, pw *core.PassiveWindow, committed time.Time) *Snapshot {
+	res := pw.Result
+	s := &Snapshot{
+		Epoch:       epoch,
+		Fingerprint: res.Fingerprint(),
+		WindowStart: pw.Start,
+		WindowEnd:   pw.End,
+		Committed:   committed,
+		Scenario:    scenario,
+		Result:      res,
+		Stats: WindowStats{
+			Announced:     pw.Announced,
+			Withdrawn:     pw.Withdrawn,
+			WithdrawnOnly: pw.WithdrawnOnlyUpdates,
+			LiveRoutes:    pw.LiveRoutes,
+			RelLinks:      pw.RelLinks,
+			P2PRels:       pw.P2PRels,
+			MeshLinks:     res.TotalLinks(),
+			MultiIXPLinks: res.MultiIXPLinks(),
+			Stability:     pw.Stability,
+			CloseTimeNS:   pw.CloseTime.Nanoseconds(),
+		},
+	}
+	s.ETag = fmt.Sprintf("%q", fmt.Sprintf("e%d-%016x", epoch, s.Fingerprint))
+	s.epochJSON = renderEpochMeta(s)
+	s.statsJSON = renderStats(s)
+	s.meshJSON = RenderMesh(epoch, s.Fingerprint, res)
+	s.ixpsJSON = RenderIXPList(epoch, res)
+	// Prefill every per-IXP CoveredMembers memo while still inside the
+	// construction window, so no dynamic render performs the (waived,
+	// idempotent) first-read fill after publication.
+	for _, name := range sortedIXPNames(res) {
+		res.PerIXP[name].CoveredMembers()
+	}
+	return s
+}
+
+// linkDTO is one inferred link with its IXP attribution.
+type linkDTO struct {
+	A    bgp.ASN  `json:"a"`
+	B    bgp.ASN  `json:"b"`
+	IXPs []string `json:"ixps"`
+}
+
+// meshDTO is the /v1/mesh payload.
+type meshDTO struct {
+	Epoch       uint64    `json:"epoch"`
+	Fingerprint string    `json:"fingerprint"`
+	Links       []linkDTO `json:"links"`
+}
+
+// epochDTO is the /v1/epoch payload.
+type epochDTO struct {
+	Epoch       uint64    `json:"epoch"`
+	Fingerprint string    `json:"fingerprint"`
+	Scenario    string    `json:"scenario"`
+	WindowStart time.Time `json:"window_start"`
+	WindowEnd   time.Time `json:"window_end"`
+	Committed   time.Time `json:"committed"`
+	Links       int       `json:"links"`
+}
+
+// statsDTO is the /v1/stats payload.
+type statsDTO struct {
+	Epoch       uint64      `json:"epoch"`
+	Fingerprint string      `json:"fingerprint"`
+	Stats       WindowStats `json:"stats"`
+}
+
+// ixpSummaryDTO is one row of the /v1/ixps payload.
+type ixpSummaryDTO struct {
+	Name    string `json:"name"`
+	Members int    `json:"members"`
+	Covered int    `json:"covered"`
+	Passive int    `json:"passive"`
+	Active  int    `json:"active"`
+	Links   int    `json:"links"`
+}
+
+// ixpListDTO is the /v1/ixps payload.
+type ixpListDTO struct {
+	Epoch uint64          `json:"epoch"`
+	IXPs  []ixpSummaryDTO `json:"ixps"`
+}
+
+// ixpDTO is the /v1/ixp/<name> payload.
+type ixpDTO struct {
+	Epoch   uint64    `json:"epoch"`
+	Name    string    `json:"name"`
+	Members int       `json:"members"`
+	Covered []bgp.ASN `json:"covered"`
+	Passive int       `json:"passive"`
+	Active  int       `json:"active"`
+	Links   []linkDTO `json:"links"`
+}
+
+// linkLookupDTO is the /v1/link payload.
+type linkLookupDTO struct {
+	Epoch   uint64   `json:"epoch"`
+	A       bgp.ASN  `json:"a"`
+	B       bgp.ASN  `json:"b"`
+	Present bool     `json:"present"`
+	IXPs    []string `json:"ixps"`
+}
+
+// asDTO is the /v1/as/<asn> payload.
+type asDTO struct {
+	Epoch uint64    `json:"epoch"`
+	ASN   bgp.ASN   `json:"asn"`
+	Links []linkDTO `json:"links"`
+}
+
+// mustJSON marshals a render DTO; the DTOs contain no unmarshalable
+// types, so a failure is a programming error.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("serve: render marshal: %v", err))
+	}
+	return b
+}
+
+// FingerprintHex is the canonical hex spelling of a mesh fingerprint
+// used in payloads and ETags.
+func FingerprintHex(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+// sortedLinkKeys extracts a result's link keys in ascending (A, B)
+// order — every render that walks the Links map goes through it so
+// bodies are byte-identical for the same (epoch, query).
+func sortedLinkKeys(links map[topology.LinkKey][]string) []topology.LinkKey {
+	keys := make([]topology.LinkKey, 0, len(links))
+	for k := range links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	return keys
+}
+
+// sortedIXPNames extracts the per-IXP map keys ascending.
+func sortedIXPNames(r *core.Result) []string {
+	names := make([]string, 0, len(r.PerIXP))
+	for name := range r.PerIXP {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RenderMesh renders the full inferred mesh: every link ascending with
+// its sorted IXP attribution. The render is a pure function of
+// (epoch, fingerprint, result), so gateway responses are byte-equal to
+// a direct render of the same core.Result — the conformance tests pin
+// that.
+func RenderMesh(epoch uint64, fingerprint uint64, r *core.Result) []byte {
+	dto := meshDTO{Epoch: epoch, Fingerprint: FingerprintHex(fingerprint), Links: make([]linkDTO, 0, len(r.Links))}
+	for _, k := range sortedLinkKeys(r.Links) {
+		dto.Links = append(dto.Links, linkDTO{A: k.A, B: k.B, IXPs: r.Links[k]})
+	}
+	return mustJSON(dto)
+}
+
+// RenderIXPList renders the per-IXP coverage summary, sorted by name.
+func RenderIXPList(epoch uint64, r *core.Result) []byte {
+	dto := ixpListDTO{Epoch: epoch, IXPs: make([]ixpSummaryDTO, 0, len(r.PerIXP))}
+	for _, name := range sortedIXPNames(r) {
+		x := r.PerIXP[name]
+		dto.IXPs = append(dto.IXPs, ixpSummaryDTO{
+			Name:    name,
+			Members: len(x.Members),
+			Covered: len(x.CoveredMembers()),
+			Passive: x.PassiveCount(),
+			Active:  x.ActiveCount(),
+			Links:   len(x.Links),
+		})
+	}
+	return mustJSON(dto)
+}
+
+// RenderIXP renders one IXP's inference; ok is false when the
+// dictionary has no such IXP.
+func RenderIXP(epoch uint64, r *core.Result, name string) ([]byte, bool) {
+	x, ok := r.PerIXP[name]
+	if !ok {
+		return nil, false
+	}
+	dto := ixpDTO{
+		Epoch:   epoch,
+		Name:    name,
+		Members: len(x.Members),
+		Covered: x.CoveredMembers(),
+		Passive: x.PassiveCount(),
+		Active:  x.ActiveCount(),
+		Links:   make([]linkDTO, 0, len(x.Links)),
+	}
+	keys := make([]topology.LinkKey, 0, len(x.Links))
+	for k := range x.Links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	for _, k := range keys {
+		dto.Links = append(dto.Links, linkDTO{A: k.A, B: k.B, IXPs: []string{name}})
+	}
+	return mustJSON(dto), true
+}
+
+// RenderLink renders one link lookup (the relationship query): whether
+// the pair peers multilaterally and at which IXPs.
+func RenderLink(epoch uint64, r *core.Result, a, b bgp.ASN) []byte {
+	key := topology.MakeLinkKey(a, b)
+	ixps, present := r.Links[key]
+	dto := linkLookupDTO{Epoch: epoch, A: key.A, B: key.B, Present: present, IXPs: ixps}
+	if dto.IXPs == nil {
+		dto.IXPs = []string{}
+	}
+	return mustJSON(dto)
+}
+
+// RenderAS renders every inferred link one AS participates in (the
+// route/neighbor view of the mesh), ascending by peer.
+func RenderAS(epoch uint64, r *core.Result, asn bgp.ASN) []byte {
+	dto := asDTO{Epoch: epoch, ASN: asn, Links: []linkDTO{}}
+	for _, k := range sortedLinkKeys(r.Links) {
+		if k.A == asn || k.B == asn {
+			dto.Links = append(dto.Links, linkDTO{A: k.A, B: k.B, IXPs: r.Links[k]})
+		}
+	}
+	return mustJSON(dto)
+}
+
+func renderEpochMeta(s *Snapshot) []byte {
+	return mustJSON(epochDTO{
+		Epoch:       s.Epoch,
+		Fingerprint: FingerprintHex(s.Fingerprint),
+		Scenario:    s.Scenario,
+		WindowStart: s.WindowStart,
+		WindowEnd:   s.WindowEnd,
+		Committed:   s.Committed,
+		Links:       s.Result.TotalLinks(),
+	})
+}
+
+func renderStats(s *Snapshot) []byte {
+	return mustJSON(statsDTO{Epoch: s.Epoch, Fingerprint: FingerprintHex(s.Fingerprint), Stats: s.Stats})
+}

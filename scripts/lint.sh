@@ -6,9 +6,42 @@
 # the binary is unavailable, e.g. offline).
 #
 # Usage: ./scripts/lint.sh [packages...]   (default ./...)
+#        ./scripts/lint.sh -frozen-coverage-only
+#
+# -frozen-coverage-only runs just the serving-tier frozen-annotation
+# coverage check (the CI lint job's dedicated step).
 set -u
 
 cd "$(dirname "$0")/.."
+
+# The gateway publishes Snapshot by atomic pointer swap and readers
+# never synchronize, so its immutability must stay machine-checked:
+# both the type and its builder have to carry //mlplint:frozen for the
+# frozen analyzer to have jurisdiction. Deleting either annotation
+# would silently disarm that check — so their presence is a gate.
+frozen_coverage() {
+  local ok=0
+  for decl in 'type Snapshot struct' 'func NewSnapshot('; do
+    if ! awk -v decl="$decl" '
+        /^\/\/mlplint:frozen/ { armed = 1; next }
+        index($0, decl) == 1  { if (armed) found = 1 }
+        !/^\/\// && !/^$/     { armed = 0 }
+        END { exit found ? 0 : 1 }
+      ' internal/serve/snapshot.go; then
+      echo "frozen coverage: internal/serve/snapshot.go: \`$decl\` lost its //mlplint:frozen annotation" >&2
+      ok=1
+    fi
+  done
+  return "$ok"
+}
+
+if [ "${1:-}" = "-frozen-coverage-only" ]; then
+  echo "==> frozen coverage (serving-tier snapshot types)"
+  frozen_coverage || { echo "lint: FAILED" >&2; exit 1; }
+  echo "lint: OK"
+  exit 0
+fi
+
 pkgs=("$@")
 if [ ${#pkgs[@]} -eq 0 ]; then
   pkgs=(./...)
@@ -32,6 +65,9 @@ go vet "${pkgs[@]}" || failed=1
 
 echo "==> mlplint (invariant analyzers)"
 go run ./cmd/mlplint "${pkgs[@]}" || failed=1
+
+echo "==> frozen coverage (serving-tier snapshot types)"
+frozen_coverage || failed=1
 
 echo "==> allocgate (hot-path escape analysis)"
 ./scripts/allocgate.sh || failed=1
